@@ -1,0 +1,83 @@
+"""E2 — Section 3's comparison of the constraint-satisfaction definitions.
+
+Regenerates the analysis of the social-security constraint against the two
+counter-example databases (``{emp(Mary)}`` and ``{}``) under Definitions 3.1,
+3.2, 3.3, 3.4 and 3.5, asserting the paper's verdicts: the classical
+definitions clash with intuition, the epistemic one matches it.
+"""
+
+import pytest
+
+from repro.constraints.definitions import (
+    satisfies_completion_consistency,
+    satisfies_completion_entailment,
+    satisfies_consistency,
+    satisfies_entailment,
+    satisfies_epistemic,
+)
+from repro.datalog.program import DatalogProgram
+from repro.logic.builders import atom
+from repro.semantics.config import SemanticsConfig
+from repro.workloads.employees import (
+    employee_database,
+    ss_constraint_first_order,
+    ss_constraint_modal,
+)
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+def _evaluate_definitions():
+    fo, modal = ss_constraint_first_order(), ss_constraint_modal()
+    violating = employee_database("violating")
+    empty = employee_database("empty")
+    violating_program = DatalogProgram()
+    violating_program.add_fact(atom("emp", "Mary"))
+    empty_program = DatalogProgram()
+    rows = [
+        (
+            "{emp(Mary)}",
+            satisfies_consistency(violating, fo, config=CONFIG),
+            satisfies_entailment(violating, fo, config=CONFIG),
+            satisfies_completion_consistency(violating_program, fo, config=CONFIG),
+            satisfies_completion_entailment(violating_program, fo, config=CONFIG),
+            satisfies_epistemic(violating, modal, config=CONFIG),
+            "violated",
+        ),
+        (
+            "{}",
+            satisfies_consistency(empty, fo, config=CONFIG),
+            satisfies_entailment(empty, fo, config=CONFIG),
+            satisfies_completion_consistency(empty_program, fo, config=CONFIG),
+            satisfies_completion_entailment(empty_program, fo, config=CONFIG),
+            satisfies_epistemic(empty, modal, config=CONFIG),
+            "satisfied",
+        ),
+    ]
+    return rows
+
+
+def test_e2_definition_comparison(benchmark, record_rows):
+    rows = benchmark(_evaluate_definitions)
+    record_rows(
+        "e2_ic_definitions",
+        ("database", "3.1 consistency", "3.2 entailment", "3.3 comp-cons", "3.4 comp-ent", "3.5 epistemic", "intuition"),
+        rows,
+    )
+    violating, empty = rows
+    # Paper's argument: 3.1 wrongly accepts the incomplete database...
+    assert violating[1] is True
+    # ...3.2 wrongly rejects the empty one...
+    assert empty[2] is False
+    # ...and the epistemic definition matches intuition on both.
+    assert violating[5] is False and empty[5] is True
+    # The two completion-based definitions disagree with each other here,
+    # illustrating the paper's footnote that they are not equivalent.
+    assert violating[3] != violating[4]
+
+
+def test_e2_epistemic_check_latency(benchmark):
+    modal = ss_constraint_modal()
+    theory = employee_database("personnel")
+    result = benchmark(lambda: satisfies_epistemic(theory, modal, config=CONFIG))
+    assert result is False

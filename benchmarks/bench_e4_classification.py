@@ -1,0 +1,67 @@
+"""E4 — the safety/admissibility classification of Examples 5.1–5.5 plus the
+Example 5.4 admissible rewriting of the Section 3 constraints.
+
+The experiment regenerates the classification table and asserts the paper's
+verdicts; the timed portion classifies the full formula set and performs the
+six admissibility-preserving rewritings.
+"""
+
+import pytest
+
+from repro.logic.classify import classify, is_admissible
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.logic.transform import to_admissible_form
+from repro.workloads.employees import employee_constraints
+
+#: (label, formula text, expected safe, expected admissible)
+CASES = [
+    ("5.1/1", "P(?x, ?y) & K q(?x) & K r(?x)", True, True),
+    ("5.1/2", "exists x. ~r(x)", True, True),
+    ("5.1/3", "~K (exists x, y. p(x, y) & (q(x) | r(y)))", True, True),
+    ("5.1/4", "P(?x, ?y) & ~K q(?x) & ~K r(?y)", True, True),
+    ("5.1/5", "exists x, y. (p(x, y) & ~K q(x) & ~K r(y))", True, False),
+    ("5.2/1", "exists x. ~K p(x)", False, False),
+    ("5.2/2", "r(?x) & ~K m(?x) & ~K f(?y)", False, False),
+    ("5.2/3", "~K q(?x) & K r(?x)", False, False),
+    ("5.3/last-section-1", "exists x. Teach(x, Psych) & ~K Teach(x, CS)", True, False),
+    ("5.3/not-admissible", "exists x. ~K Teach(x, CS) & K Teach(x, Psych)", False, False),
+    ("5.5/1", "p(?x) & K q(?x)", True, True),
+    ("5.5/2", "exists x. p(x) & K q(x)", True, False),
+]
+
+
+def _classify_all():
+    rows = []
+    for label, text, expected_safe, expected_admissible in CASES:
+        summary = classify(parse(text))
+        rows.append(
+            (label, text, summary["safe"], summary["admissible"], expected_safe, expected_admissible)
+        )
+    return rows
+
+
+def _rewrite_constraints():
+    rows = []
+    for name, constraint in employee_constraints().items():
+        rewritten = to_admissible_form(constraint)
+        rows.append((name, to_text(rewritten), is_admissible(rewritten)))
+    return rows
+
+
+def test_e4_classification_table(benchmark, record_rows):
+    rows = benchmark(_classify_all)
+    record_rows(
+        "e4_classification",
+        ("example", "formula", "safe", "admissible", "paper safe", "paper admissible"),
+        rows,
+    )
+    for label, _text, safe, admissible, expected_safe, expected_admissible in rows:
+        assert safe == expected_safe, label
+        assert admissible == expected_admissible, label
+
+
+def test_e4_admissible_rewriting(benchmark, record_rows):
+    rows = benchmark(_rewrite_constraints)
+    record_rows("e4_admissible_rewrites", ("constraint", "admissible form", "admissible"), rows)
+    assert all(admissible for _name, _text, admissible in rows)

@@ -1,0 +1,90 @@
+"""E5 — Theorem 5.1 (soundness of ``demo``) measured at scale.
+
+Randomly generated elementary databases and safe normal queries are evaluated
+both by ``demo`` and by the Definition 2.1 model-enumeration oracle; the
+experiment reports the agreement rate (soundness requires every answer demo
+produces to be an oracle answer — the measured rate must be 100%) and times
+the demo side.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.evaluator.all_answers import all_answers
+from repro.evaluator.demo import DemoEvaluator
+from repro.logic.substitution import Substitution
+from repro.logic.syntax import free_variables
+from repro.semantics import entailment as oracle
+from repro.semantics.config import SemanticsConfig
+from repro.workloads.generators import random_elementary_database, random_normal_query
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+#: (database seed, query seed) pairs — kept small because the oracle is
+#: exponential; the property tests in tests/ run many more.
+TRIALS = [(seed, seed * 7 + 1) for seed in range(6)]
+
+
+def _workload(db_seed, query_seed):
+    theory = random_elementary_database(
+        facts=6, rules=1, predicates=("p", "q"), parameters=3, seed=db_seed
+    )
+    query = random_normal_query(
+        literals=2, predicates=("p", "q"), parameters=3, variables=1, seed=query_seed
+    )
+    return theory, query
+
+
+def _demo_answers(theory, query):
+    evaluator = DemoEvaluator(theory, config=CONFIG, queries=[query])
+    return all_answers(evaluator, query), evaluator
+
+
+def _oracle_answers(theory, query, universe):
+    variables = sorted(free_variables(query), key=lambda v: v.name)
+    expected = set()
+    for values in product(universe, repeat=len(variables)):
+        instance = Substitution(dict(zip(variables, values))).apply(query)
+        if oracle.entails(theory, instance, config=CONFIG):
+            expected.add(values)
+    return expected
+
+
+def test_e5_soundness_agreement(benchmark, record_rows):
+    def run_demo_side():
+        produced = []
+        for db_seed, query_seed in TRIALS:
+            theory, query = _workload(db_seed, query_seed)
+            answers, evaluator = _demo_answers(theory, query)
+            produced.append((theory, query, answers, tuple(evaluator.universe)))
+        return produced
+
+    demo_results = benchmark(run_demo_side)
+
+    rows = []
+    sound = 0
+    complete = 0
+    for theory, query, answers, universe in demo_results:
+        expected = _oracle_answers(theory, query, universe)
+        is_sound = answers <= expected
+        is_complete = answers == expected
+        sound += is_sound
+        complete += is_complete
+        rows.append((str(query), len(answers), len(expected), is_sound, is_complete))
+    record_rows(
+        "e5_soundness",
+        ("query", "demo answers", "oracle answers", "sound", "complete"),
+        rows,
+    )
+    # Theorem 5.1: demo never produces a non-answer.
+    assert sound == len(TRIALS)
+    # Theorem 6.2 applies to these elementary databases and normal queries.
+    assert complete == len(TRIALS)
+
+
+def test_e5_demo_throughput(benchmark):
+    theory, query = _workload(1, 11)
+    evaluator = DemoEvaluator(theory, config=CONFIG, queries=[query])
+    answers = benchmark(lambda: all_answers(evaluator, query))
+    assert isinstance(answers, set)

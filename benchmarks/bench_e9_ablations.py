@@ -1,0 +1,135 @@
+"""E9 — systems ablations.
+
+The paper's Section 5.1 stresses that ``demo`` is decoupled from the form of
+Σ and from how ``prove`` is realised.  This experiment quantifies the design
+choices a systems reader would ask about:
+
+* prover-based reduction versus direct model enumeration as the database
+  grows (the exponential wall the oracle hits);
+* naive versus semi-naive Datalog fixpoints on the transitive-closure
+  workload;
+* Tseitin versus naive CNF conversion for the grounded theories;
+* cost of the epistemic layer: answering ``K f`` versus answering ``f``
+  against the same database.
+"""
+
+import time
+
+import pytest
+
+from repro.datalog.engine import DatalogEngine
+from repro.logic.parser import parse, parse_many
+from repro.prover.cnf import cnf_clauses, naive_cnf_clauses
+from repro.prover.dpll import DPLLSolver
+from repro.prover.grounding import ground_theory
+from repro.prover.prove import FirstOrderProver
+from repro.semantics import entailment as oracle
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.reduction import EpistemicReducer
+from repro.workloads.generators import chain_datalog_program, random_elementary_database
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+def _database(facts, parameters):
+    return random_elementary_database(
+        facts=facts,
+        rules=1,
+        predicates=("p", "q"),
+        parameters=parameters,
+        disjunction_rate=0.2,
+        existential_rate=0.0,
+        seed=facts,
+    )
+
+
+def test_e9_reduction_vs_model_enumeration(benchmark, record_rows):
+    query = parse("K p(c0) & ~K q(c1)")
+    sizes = [(4, 3), (8, 4), (12, 5)]
+
+    def sweep():
+        rows = []
+        for facts, parameters in sizes:
+            theory = _database(facts, parameters)
+            start = time.perf_counter()
+            reducer = EpistemicReducer(theory, config=CONFIG, queries=[query])
+            reduction_verdict = reducer.entails(query)
+            reduction_time = time.perf_counter() - start
+            start = time.perf_counter()
+            oracle_verdict = oracle.entails(theory, query, config=CONFIG)
+            oracle_time = time.perf_counter() - start
+            rows.append(
+                (
+                    facts,
+                    reduction_verdict == oracle_verdict,
+                    f"{reduction_time * 1000:.1f} ms",
+                    f"{oracle_time * 1000:.1f} ms",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_rows(
+        "e9_reduction_vs_models",
+        ("facts", "verdicts agree", "reduction time", "model enumeration time"),
+        rows,
+    )
+    assert all(agree for _f, agree, _r, _o in rows)
+
+
+def test_e9_semi_naive_vs_naive_datalog(benchmark, record_rows):
+    program_size = 60
+
+    def run(strategy):
+        engine = DatalogEngine(chain_datalog_program(length=program_size, fanout=0), strategy=strategy)
+        engine.least_model()
+        return engine.statistics
+
+    semi_stats = benchmark(run, "semi-naive")
+    naive_stats = run("naive")
+    record_rows(
+        "e9_datalog_strategies",
+        ("strategy", "iterations", "rule applications", "facts derived"),
+        [
+            ("semi-naive", semi_stats.iterations, semi_stats.rule_applications, semi_stats.facts_derived),
+            ("naive", naive_stats.iterations, naive_stats.rule_applications, naive_stats.facts_derived),
+        ],
+    )
+    assert semi_stats.facts_derived == naive_stats.facts_derived
+    assert semi_stats.rule_applications <= naive_stats.rule_applications
+
+
+def test_e9_tseitin_vs_naive_cnf(benchmark, record_rows):
+    theory = _database(14, 5)
+    prover = FirstOrderProver.for_theory(theory, config=CONFIG)
+    grounded = ground_theory(theory, prover.universe)
+
+    tseitin_clauses, _ = benchmark(lambda: cnf_clauses(grounded))
+    naive_clauses, _ = naive_cnf_clauses(grounded)
+    record_rows(
+        "e9_cnf_encodings",
+        ("encoding", "clauses", "satisfiable"),
+        [
+            ("tseitin", len(tseitin_clauses), DPLLSolver(tseitin_clauses).is_satisfiable()),
+            ("naive", len(naive_clauses), DPLLSolver(naive_clauses).is_satisfiable()),
+        ],
+    )
+    assert DPLLSolver(tseitin_clauses).is_satisfiable() == DPLLSolver(naive_clauses).is_satisfiable()
+
+
+def test_e9_epistemic_overhead(benchmark, record_rows):
+    theory = parse_many("; ".join(f"p(c{i})" for i in range(10)))
+    reducer = EpistemicReducer(theory, config=CONFIG, queries=[parse("K p(c0)")])
+
+    def ask_both():
+        plain = reducer.entails(parse("p(c0)"))
+        epistemic = reducer.entails(parse("K p(c0)"))
+        return plain, epistemic
+
+    plain, epistemic = benchmark(ask_both)
+    record_rows(
+        "e9_epistemic_overhead",
+        ("query", "verdict"),
+        [("p(c0)", plain), ("K p(c0)", epistemic)],
+    )
+    assert plain and epistemic

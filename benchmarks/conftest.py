@@ -1,0 +1,41 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_e*.py`` module regenerates one experiment of the index in
+DESIGN.md: it computes the rows the paper reports (or the qualitative claim a
+theorem makes), asserts the expected shape, records the rows to
+``benchmarks/results/<experiment>.txt`` so they can be inspected after a run,
+and uses the ``benchmark`` fixture to time the central computation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_rows(results_dir):
+    """Return a callable that writes a table of rows for an experiment."""
+
+    def _record(experiment, header, rows):
+        path = results_dir / f"{experiment}.txt"
+        widths = [
+            max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+            for i in range(len(header))
+        ]
+
+        def fmt(row):
+            return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+
+        lines = [fmt(header), fmt(["-" * w for w in widths])] + [fmt(row) for row in rows]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    return _record

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Raymond Reiter's "What Should A Database Know?".
+
+The package implements an epistemic deductive database engine: databases are
+sets of first-order (FOPCE) sentences, queries and integrity constraints are
+formulas of Levesque's modal language KFOPCE, and evaluation is carried out
+either by direct possible-world semantics or by the paper's Prolog-style
+``demo`` meta-interpreter on top of a first-order theorem prover.
+
+Typical entry point::
+
+    from repro import EpistemicDatabase
+
+    db = EpistemicDatabase.from_text('''
+        Teach(John, Math)
+        exists x. Teach(x, CS)
+        Teach(Mary, Psych) | Teach(Sue, Psych)
+    ''')
+    db.ask("K Teach(John, Math)")          # yes
+    db.ask("exists x. K Teach(x, CS)")     # no — no *known* CS teacher
+    db.ask("K exists x. Teach(x, CS)")     # yes — someone teaches CS
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.logic import parse, parse_many
+from repro.semantics import Answer, AnswerStatus
+from repro.db import EpistemicDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "AnswerStatus",
+    "EpistemicDatabase",
+    "parse",
+    "parse_many",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Integrity constraints (Section 3 of the paper).
+
+The paper's central conceptual claim: integrity constraints are statements
+about what the database *knows*, not about the external world, so they are
+KFOPCE sentences and checking them is exactly query evaluation
+(Definition 3.5).  This subpackage provides:
+
+* :mod:`repro.constraints.definitions` — all five notions of a database
+  satisfying a constraint that the paper compares (consistency, entailment,
+  completion-consistency, completion-entailment, epistemic entailment), so
+  the Section 3 counter-examples can be reproduced mechanically;
+* :mod:`repro.constraints.modalize` — the systematic first-order → modal
+  rewriting that produces the paper's readings (Examples 3.1–3.5);
+* :mod:`repro.constraints.library` — ready-made constraint templates
+  (mandatory attributes, disjointness, totality, typed relations, functional
+  dependencies);
+* :mod:`repro.constraints.checker` — an :class:`IntegrityChecker` that
+  validates a database against a constraint set, reports violations with
+  witnesses, and supports the incremental re-checking and procedural
+  triggers sketched in the paper's discussion section.
+"""
+
+from repro.constraints.definitions import (
+    SatisfactionDefinition,
+    satisfies,
+    satisfies_completion_consistency,
+    satisfies_completion_entailment,
+    satisfies_consistency,
+    satisfies_entailment,
+    satisfies_epistemic,
+)
+from repro.constraints.modalize import modalize_constraint
+from repro.constraints.library import (
+    disjoint_properties,
+    known_instances_typed,
+    mandatory_attribute,
+    mandatory_known_attribute,
+    total_property,
+    unique_attribute,
+)
+from repro.constraints.checker import ConstraintViolation, IntegrityChecker
+
+__all__ = [
+    "ConstraintViolation",
+    "IntegrityChecker",
+    "SatisfactionDefinition",
+    "disjoint_properties",
+    "known_instances_typed",
+    "mandatory_attribute",
+    "mandatory_known_attribute",
+    "modalize_constraint",
+    "satisfies",
+    "satisfies_completion_consistency",
+    "satisfies_completion_entailment",
+    "satisfies_consistency",
+    "satisfies_entailment",
+    "satisfies_epistemic",
+    "total_property",
+    "unique_attribute",
+]

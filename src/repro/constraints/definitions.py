@@ -1,0 +1,119 @@
+"""The five definitions of constraint satisfaction compared in Section 3.
+
+For a database ``DB`` and an integrity constraint ``IC``:
+
+* **Definition 3.1** (consistency, open databases; Kowalski):
+  ``DB`` satisfies ``IC`` iff ``DB + IC`` is satisfiable.
+* **Definition 3.2** (entailment, open databases; Reiter 1984):
+  ``DB`` satisfies ``IC`` iff ``DB ⊨ IC``.
+* **Definition 3.3** (consistency, closed Prolog-like databases;
+  Sadri–Kowalski): ``Comp(DB) + IC`` is satisfiable.
+* **Definition 3.4** (entailment, closed Prolog-like databases;
+  Lloyd–Topor): ``Comp(DB) ⊨ IC``.
+* **Definition 3.5** (the paper's proposal): ``IC`` is a KFOPCE sentence and
+  ``DB ⊨ IC`` under the epistemic entailment of Definition 2.1.
+
+The first four expect a *first-order* IC; 3.3/3.4 additionally require a
+Prolog-like (Datalog) database for the completion to exist.  The module keeps
+all five side by side so that the paper's counter-examples — ``{emp(Mary)}``
+should violate the social-security constraint but satisfies 3.1, the empty
+database should satisfy it but fails 3.2 — can be demonstrated and tested
+mechanically (experiment E2).
+"""
+
+import enum
+
+from repro.exceptions import NotFirstOrderError
+from repro.logic.classify import is_first_order
+from repro.prover.prove import FirstOrderProver
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.reduction import EpistemicReducer
+
+
+class SatisfactionDefinition(enum.Enum):
+    """Which of the paper's five notions to use."""
+
+    CONSISTENCY = "3.1-consistency"
+    ENTAILMENT = "3.2-entailment"
+    COMPLETION_CONSISTENCY = "3.3-completion-consistency"
+    COMPLETION_ENTAILMENT = "3.4-completion-entailment"
+    EPISTEMIC = "3.5-epistemic"
+
+
+def _first_order_only(constraint, definition):
+    if not is_first_order(constraint):
+        raise NotFirstOrderError(
+            f"{definition} expects a first-order constraint; {constraint} mentions K"
+        )
+
+
+def satisfies_consistency(theory, constraint, config=DEFAULT_CONFIG):
+    """Definition 3.1: ``DB + IC`` is satisfiable."""
+    _first_order_only(constraint, "Definition 3.1")
+    prover = FirstOrderProver.for_theory(list(theory) + [constraint], config=config)
+    return prover.is_satisfiable()
+
+
+def satisfies_entailment(theory, constraint, config=DEFAULT_CONFIG):
+    """Definition 3.2: ``DB ⊨_FOPCE IC``."""
+    _first_order_only(constraint, "Definition 3.2")
+    prover = FirstOrderProver.for_theory(theory, queries=[constraint], config=config)
+    return prover.entails(constraint)
+
+
+def _completion_of(datalog_program):
+    from repro.datalog.completion import clark_completion
+
+    return clark_completion(datalog_program)
+
+
+def satisfies_completion_consistency(datalog_program, constraint, config=DEFAULT_CONFIG):
+    """Definition 3.3: ``Comp(DB) + IC`` is satisfiable.
+
+    Only applies to Prolog-like databases, supplied as a
+    :class:`~repro.datalog.program.DatalogProgram`.
+    """
+    _first_order_only(constraint, "Definition 3.3")
+    completion = _completion_of(datalog_program)
+    prover = FirstOrderProver.for_theory(completion + [constraint], config=config)
+    return prover.is_satisfiable()
+
+
+def satisfies_completion_entailment(datalog_program, constraint, config=DEFAULT_CONFIG):
+    """Definition 3.4: ``Comp(DB) ⊨ IC``."""
+    _first_order_only(constraint, "Definition 3.4")
+    completion = _completion_of(datalog_program)
+    prover = FirstOrderProver.for_theory(completion, queries=[constraint], config=config)
+    return prover.entails(constraint)
+
+
+def satisfies_epistemic(theory, constraint, config=DEFAULT_CONFIG, reducer=None):
+    """Definition 3.5 (the paper's): ``Σ ⊨ IC`` with IC a KFOPCE sentence.
+
+    Testing constraint satisfaction is *identical* to query evaluation — this
+    function is a thin wrapper over the epistemic reduction so that the code
+    mirrors the paper's formal identification of the two problems.
+    """
+    if reducer is None:
+        reducer = EpistemicReducer(theory, config=config, queries=[constraint])
+    return reducer.entails(constraint)
+
+
+def satisfies(theory, constraint, definition=SatisfactionDefinition.EPISTEMIC, config=DEFAULT_CONFIG):
+    """Dispatch to one of the five definitions.
+
+    *theory* must be a :class:`~repro.datalog.program.DatalogProgram` for the
+    completion-based definitions and an iterable of FOPCE sentences for the
+    others.
+    """
+    if definition is SatisfactionDefinition.CONSISTENCY:
+        return satisfies_consistency(theory, constraint, config=config)
+    if definition is SatisfactionDefinition.ENTAILMENT:
+        return satisfies_entailment(theory, constraint, config=config)
+    if definition is SatisfactionDefinition.COMPLETION_CONSISTENCY:
+        return satisfies_completion_consistency(theory, constraint, config=config)
+    if definition is SatisfactionDefinition.COMPLETION_ENTAILMENT:
+        return satisfies_completion_entailment(theory, constraint, config=config)
+    if definition is SatisfactionDefinition.EPISTEMIC:
+        return satisfies_epistemic(theory, constraint, config=config)
+    raise ValueError(f"unknown definition {definition!r}")

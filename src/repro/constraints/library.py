@@ -1,0 +1,132 @@
+"""A library of ready-made integrity constraints.
+
+Each function returns a KFOPCE sentence in the paper's style; the docstrings
+cite the example in Section 3 that the template generalises.  All returned
+constraints are subjective K1 sentences and, after
+:func:`repro.logic.transform.to_admissible_form`, admissible — so ``demo``
+evaluates them soundly (Result 5.1).
+"""
+
+from repro.logic.builders import conj, equals, exists, forall, implies, knows, pred, var
+from repro.logic.syntax import Atom, Not
+from repro.logic.terms import Variable
+
+
+def mandatory_known_attribute(entity_predicate, attribute_predicate):
+    """Example 3.1: every known *entity* must have a known *attribute* entry.
+
+    ``mandatory_known_attribute("emp", "ss")`` produces
+    ``∀x. K emp(x) ⊃ ∃y. K ss(x, y)`` — the paper's reading of "every
+    employee must have a social security number".
+    """
+    x, y = Variable("x"), Variable("y")
+    return forall(
+        "x",
+        implies(
+            knows(Atom(entity_predicate, (x,))),
+            exists("y", knows(Atom(attribute_predicate, (x, y)))),
+        ),
+    )
+
+
+def mandatory_attribute(entity_predicate, attribute_predicate):
+    """Example 3.4: every known *entity* must be known to have *some*
+    attribute value, without the value being a known individual.
+
+    ``mandatory_attribute("emp", "ss")`` produces
+    ``∀x. K emp(x) ⊃ K ∃y. ss(x, y)``.
+    """
+    x, y = Variable("x"), Variable("y")
+    return forall(
+        "x",
+        implies(
+            knows(Atom(entity_predicate, (x,))),
+            knows(exists("y", Atom(attribute_predicate, (x, y)))),
+        ),
+    )
+
+
+def disjoint_properties(first_predicate, second_predicate):
+    """Example 3.1 (numbered 3.2 in the text): the database may never assign
+    both properties to one individual.
+
+    ``disjoint_properties("male", "female")`` produces
+    ``∀x. ~K (male(x) & female(x))``.
+    """
+    x = Variable("x")
+    return forall(
+        "x",
+        Not(knows(conj([Atom(first_predicate, (x,)), Atom(second_predicate, (x,))]))),
+    )
+
+
+def total_property(entity_predicate, first_predicate, second_predicate):
+    """Example 3.2: every known entity must be known to have one of the two
+    properties.
+
+    ``total_property("person", "male", "female")`` produces
+    ``∀x. K person(x) ⊃ (K male(x) | K female(x))``.
+    """
+    x = Variable("x")
+    return forall(
+        "x",
+        implies(
+            knows(Atom(entity_predicate, (x,))),
+            knows(Atom(first_predicate, (x,))) | knows(Atom(second_predicate, (x,))),
+        ),
+    )
+
+
+def known_instances_typed(relation_predicate, *argument_constraints):
+    """Example 3.3: known instances of a relation must have arguments of the
+    right (known) types.
+
+    ``known_instances_typed("mother", ("person", "female"), ("person",))``
+    produces
+    ``∀x,y. K mother(x, y) ⊃ K (person(x) & female(x) & person(y))``.
+    Each positional entry lists the unary type predicates required of that
+    argument.
+    """
+    variables = [Variable(chr(ord("x") + i)) for i in range(len(argument_constraints))]
+    typing_atoms = []
+    for variable, types in zip(variables, argument_constraints):
+        for type_predicate in types:
+            typing_atoms.append(Atom(type_predicate, (variable,)))
+    antecedent = knows(Atom(relation_predicate, tuple(variables)))
+    consequent = knows(conj(typing_atoms)) if typing_atoms else antecedent
+    return forall([v.name for v in variables], implies(antecedent, consequent))
+
+
+def unique_attribute(attribute_predicate):
+    """Example 3.5: a functional dependency stated epistemically — known
+    attribute values for the same key are known to be equal.
+
+    ``unique_attribute("ss")`` produces
+    ``∀x,y,z. (K ss(x, y) & K ss(x, z)) ⊃ K y = z``.
+    """
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return forall(
+        ["x", "y", "z"],
+        implies(
+            conj([knows(Atom(attribute_predicate, (x, y))), knows(Atom(attribute_predicate, (x, z)))]),
+            knows(equals(y, z)),
+        ),
+    )
+
+
+def referential_integrity(source_predicate, source_position, target_predicate, arity=2):
+    """A common database constraint in the paper's style: the value in
+    *source_position* of every known source tuple must be a known member of
+    the unary target predicate.
+
+    ``referential_integrity("Teach", 1, "course")`` produces
+    ``∀x1,x2. K Teach(x1, x2) ⊃ K course(x2)`` (positions are 0-based).
+    """
+    variables = [Variable(f"x{i + 1}") for i in range(arity)]
+    return forall(
+        [v.name for v in variables],
+        implies(
+            knows(Atom(source_predicate, tuple(variables))),
+            knows(Atom(target_predicate, (variables[source_position],))),
+        ),
+    )

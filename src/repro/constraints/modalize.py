@@ -1,0 +1,93 @@
+"""Turning first-order constraints into their modal (epistemic) readings.
+
+Section 3 argues that a first-order constraint such as
+
+    ∀x. emp(x) ⊃ ∃y. ss#(x, y)                                     (1)
+
+is really intended as a statement about the *contents of the database*:
+"every employee **known** to the database must have a social security number
+**also known** to the database", i.e.
+
+    ∀x. K emp(x) ⊃ ∃y. K ss#(x, y)
+
+:func:`modalize_constraint` performs that systematic rewriting:
+
+* every atom in a *positive* context that constrains what must be present is
+  read as "known" (wrapped in ``K``);
+* antecedent atoms are likewise read as "known" (the constraint only fires
+  for individuals the database knows about);
+* an existential block can optionally be kept outside ``K`` — the
+  Example 3.4 reading "the employee must be known to have *some* number,
+  without the number itself being a known individual" — by passing
+  ``known_witness=False``.
+
+The result is a K1 subjective sentence (every atom ends up under exactly one
+``K``), which Section 5.3 identifies as the natural syntactic home of
+integrity constraints.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+from repro.exceptions import NotFirstOrderError
+from repro.logic.classify import is_first_order
+
+
+def modalize_constraint(constraint, known_witness=True):
+    """Return the modal reading of the first-order *constraint*.
+
+    With ``known_witness=True`` (default) every atom is individually wrapped
+    in ``K`` — the Example 3.1/3.5 style, where even the witnesses of
+    existential quantifiers must be known individuals.  With
+    ``known_witness=False`` an existential quantifier and its scope are
+    wrapped as a block (``K ∃y. ss#(x, y)``) — the Example 3.4 style, which
+    only requires the database to know *that* a witness exists.
+    """
+    if not is_first_order(constraint):
+        raise NotFirstOrderError(
+            "modalize_constraint expects a first-order constraint; it already mentions K"
+        )
+    return _modalize(constraint, known_witness)
+
+
+def _modalize(formula, known_witness):
+    if isinstance(formula, (Atom, Equals)):
+        return Know(formula)
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_modalize(formula.body, known_witness))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return type(formula)(
+            _modalize(formula.left, known_witness), _modalize(formula.right, known_witness)
+        )
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, _modalize(formula.body, known_witness))
+    if isinstance(formula, Exists):
+        if known_witness:
+            return Exists(formula.variable, _modalize(formula.body, known_witness))
+        # Example 3.4: the database must know the existential holds, without
+        # the witness being a known individual.
+        return Know(formula)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def demodalize_constraint(constraint):
+    """Strip every ``K`` from a modal constraint, recovering a first-order
+    reading.  Together with :func:`modalize_constraint` this gives the
+    round-trip used in tests and in the closed-world collapse (Theorem 7.1,
+    where the distinction disappears anyway)."""
+    from repro.logic.transform import remove_know
+
+    return remove_know(constraint)

@@ -1,0 +1,123 @@
+"""Procedural attachment: triggers tied to integrity constraints.
+
+The paper's discussion (Section 8, item 5) points at the intimate connection
+between integrity constraints and the procedural-attachment mechanisms of
+knowledge representation languages: a procedure that fires on update, checks
+whether a condition holds in the new state, and possibly reacts (asking the
+user for a missing social-security entry, say) is "a procedural version of
+the integrity constraint".
+
+:class:`TriggerManager` implements that connection for this engine:
+
+* a :class:`Trigger` pairs a KFOPCE *condition* (typically the negation of a
+  constraint — "there is a known employee with no known ss#") with an
+  *action* callable that receives the witnesses;
+* triggers fire after updates; firing may enqueue further updates, which are
+  applied and may fire further triggers, up to a configurable cascade depth
+  (the paper's "such changes may trigger other procedures, and so on").
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.logic.syntax import free_variables
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.reduction import EpistemicReducer
+
+
+@dataclass
+class Trigger:
+    """A condition/action pair evaluated after every update.
+
+    The *condition* is a KFOPCE formula; when the updated database entails it
+    for at least one binding of its free variables, the *action* is invoked
+    with ``(database_session, witnesses)`` where *witnesses* is the tuple of
+    answer bindings.  The action may return an iterable of new FOPCE
+    sentences to assert (the cascade).
+    """
+
+    name: str
+    condition: object
+    action: Callable[[object, Tuple[tuple, ...]], Optional[list]]
+    enabled: bool = True
+
+    def __str__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"Trigger({self.name}, {state})"
+
+
+@dataclass
+class TriggerFiring:
+    """A record of one trigger firing (kept in the manager's log)."""
+
+    trigger: str
+    witnesses: Tuple[tuple, ...]
+    cascaded_assertions: Tuple[object, ...] = ()
+
+
+class TriggerManager:
+    """Evaluates triggers after updates and applies their cascades."""
+
+    def __init__(self, triggers=(), config=DEFAULT_CONFIG, max_cascade_depth=5):
+        self.triggers: List[Trigger] = list(triggers)
+        self.config = config
+        self.max_cascade_depth = max_cascade_depth
+        self.log: List[TriggerFiring] = []
+
+    def register(self, name, condition, action):
+        """Register and return a new trigger."""
+        trigger = Trigger(name=name, condition=condition, action=action)
+        self.triggers.append(trigger)
+        return trigger
+
+    def enable(self, name, enabled=True):
+        """Enable or disable a trigger by name."""
+        for trigger in self.triggers:
+            if trigger.name == name:
+                trigger.enabled = enabled
+                return trigger
+        raise ReproError(f"no trigger named {name!r}")
+
+    def fire(self, session, depth=0):
+        """Evaluate every enabled trigger against *session* (an
+        :class:`~repro.db.database.EpistemicDatabase`), apply cascaded
+        assertions, and recurse while anything changed.
+
+        Returns the list of :class:`TriggerFiring` records produced by this
+        round (including cascades).
+        """
+        if depth > self.max_cascade_depth:
+            raise ReproError(
+                f"trigger cascade exceeded the maximum depth of {self.max_cascade_depth}"
+            )
+        firings = []
+        pending_assertions = []
+        reducer = EpistemicReducer(
+            session.sentences(), config=self.config, queries=[t.condition for t in self.triggers]
+        )
+        for trigger in self.triggers:
+            if not trigger.enabled:
+                continue
+            condition = trigger.condition
+            if free_variables(condition):
+                answer = reducer.answers(condition)
+                if not answer.bindings:
+                    continue
+                witnesses = answer.bindings
+            else:
+                if not reducer.entails(condition):
+                    continue
+                witnesses = ((),)
+            cascaded = trigger.action(session, witnesses) or []
+            cascaded = tuple(cascaded)
+            firings.append(
+                TriggerFiring(trigger=trigger.name, witnesses=witnesses, cascaded_assertions=cascaded)
+            )
+            pending_assertions.extend(cascaded)
+        self.log.extend(firings)
+        if pending_assertions:
+            for sentence in pending_assertions:
+                session.tell(sentence, check_constraints=False, fire_triggers=False)
+            firings.extend(self.fire(session, depth=depth + 1))
+        return firings

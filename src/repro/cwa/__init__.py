@@ -1,0 +1,36 @@
+"""Closed-world reasoning (Section 7 of the paper).
+
+Under the closed-world assumption (CWA) the database is taken to represent
+*all* the positive information about the world: any ground atom it does not
+entail is assumed false.  The paper shows that
+
+* query evaluation and constraint checking against ``Closure(Σ)`` collapse
+  the ``K`` operator (Theorem 7.1),
+* the classical consistency and entailment definitions of constraint
+  satisfaction coincide for closed databases (Theorem 7.2),
+* ``demo`` evaluates closed-world queries through the 𝒦(w) transform that
+  wraps every atom in ``K`` (Definition 7.1, Theorem 7.3),
+* this collapse is a property of Reiter's CWA specifically — circumscription
+  and the generalized CWA keep the distinction (Example 7.2).
+
+This subpackage implements all four pieces plus the minimal-model reasoners
+needed for the comparison.
+"""
+
+from repro.cwa.closure import closure, closure_is_satisfiable, closed_world_negations
+from repro.cwa.evaluation import ClosedWorldEvaluator
+from repro.cwa.gcwa import (
+    circumscription_entails,
+    gcwa_entails,
+    gcwa_negations,
+)
+
+__all__ = [
+    "ClosedWorldEvaluator",
+    "circumscription_entails",
+    "closed_world_negations",
+    "closure",
+    "closure_is_satisfiable",
+    "gcwa_entails",
+    "gcwa_negations",
+]

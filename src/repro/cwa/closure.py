@@ -1,0 +1,85 @@
+"""``Closure(Σ)`` — Reiter's closed-world assumption (Section 7).
+
+For a set Σ of FOPCE sentences::
+
+    Closure(Σ) = Σ ∪ { ~π : π is an atomic sentence and Σ ⊭_FOPCE π }
+
+Over the infinite parameter supply the closure is an infinite set; over the
+finite active universe it is the finite set computed here: one negated atom
+for every ground atom of the Herbrand base (over the universe) that Σ does
+not entail.  The paper's key facts about the closure are proved over its
+models, and our finite version preserves them on the active universe:
+``Closure(Σ)`` has at most one model (the proof of Theorem 7.1), and when it
+is satisfiable that single model is the set of entailed atoms.
+"""
+
+from repro.logic.signature import signature_of
+from repro.logic.syntax import Not
+from repro.prover.prove import FirstOrderProver
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.worlds import World
+
+
+def _herbrand_atoms(theory, queries, universe, config):
+    signature = signature_of(theory, queries)
+    return signature.herbrand_base(universe=universe)
+
+
+def closure(theory, queries=(), universe=None, config=DEFAULT_CONFIG, prover=None):
+    """Return ``Closure(Σ)`` over the active universe as a list of FOPCE
+    sentences (the original sentences plus the negated non-entailed atoms).
+
+    *queries* widens the signature/universe so that atoms a later query asks
+    about are decided by the closure.
+    """
+    theory = list(theory)
+    if prover is None:
+        prover = FirstOrderProver.for_theory(theory, queries=queries, config=config)
+    if universe is None:
+        universe = prover.universe
+    negations = []
+    for atom in _herbrand_atoms(theory, queries, universe, config):
+        if not prover.entails(atom):
+            negations.append(Not(atom))
+    return theory + negations
+
+
+def closed_world_negations(theory, queries=(), universe=None, config=DEFAULT_CONFIG, prover=None):
+    """Return only the negated atoms the CWA adds (useful for inspection and
+    for measuring how much the closure grows with the database)."""
+    full = closure(theory, queries=queries, universe=universe, config=config, prover=prover)
+    return full[len(list(theory)):]
+
+
+def closure_is_satisfiable(theory, queries=(), config=DEFAULT_CONFIG):
+    """Return True when ``Closure(Σ)`` has a model.
+
+    For databases with disjunctive information the closure is typically
+    inconsistent (the classic ``p ∨ q`` example): neither disjunct is
+    entailed, so both are negated, contradicting the disjunction.
+    """
+    closed = closure(theory, queries=queries, config=config)
+    prover = FirstOrderProver.for_theory(closed, queries=queries, config=config)
+    return prover.is_satisfiable()
+
+
+def closure_model(theory, queries=(), universe=None, config=DEFAULT_CONFIG):
+    """Return the unique model of a satisfiable ``Closure(Σ)`` as a
+    :class:`~repro.semantics.worlds.World` (the set of entailed atoms), or
+    ``None`` when the closure is unsatisfiable.
+
+    The uniqueness is the observation at the heart of Theorem 7.1's proof.
+    """
+    theory = list(theory)
+    prover = FirstOrderProver.for_theory(theory, queries=queries, config=config)
+    if universe is None:
+        universe = prover.universe
+    entailed = []
+    for atom in _herbrand_atoms(theory, queries, universe, config):
+        if prover.entails(atom):
+            entailed.append(atom)
+    closed = closure(theory, queries=queries, universe=universe, config=config, prover=prover)
+    closed_prover = FirstOrderProver(closed, universe, config=config)
+    if not closed_prover.is_satisfiable():
+        return None
+    return World(entailed)

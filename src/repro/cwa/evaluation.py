@@ -1,0 +1,158 @@
+"""Closed-world query evaluation (Theorems 7.1 and 7.3).
+
+Two routes to the same answers:
+
+* **Collapse** (Theorem 7.1): ``Closure(Σ) ⊨ σ`` iff
+  ``Closure(Σ) ⊨_FOPCE σ̂`` where σ̂ erases every ``K``.  So compute the
+  closure once and use the ordinary first-order prover.
+* **demo + 𝒦(w)** (Theorem 7.3): to evaluate the *first-order* query w under
+  the CWA without materialising the closure, run ``demo(𝒦(w), Σ)`` where
+  𝒦(w) wraps every atom of w in ``K`` (Definition 7.1).  Success gives
+  bindings p̄ with ``Closure(Σ) ⊨_FOPCE w|p̄``; finite failure establishes
+  ``Closure(Σ) ⊨_FOPCE ~(∃x̄) w``.
+
+:class:`ClosedWorldEvaluator` exposes both, plus the yes/no interface (under
+a satisfiable closure every sentence is decided — Lemma 7.1 — so "unknown"
+disappears, which is exactly the collapse the paper describes).
+"""
+
+from repro.exceptions import UnsatisfiableTheoryError
+from repro.logic.classify import is_first_order
+from repro.logic.syntax import Not, free_variables
+from repro.logic.transform import insert_know, remove_know, rename_apart, to_admissible_form
+from repro.evaluator.all_answers import all_answers
+from repro.evaluator.demo import DemoEvaluator
+from repro.prover.prove import FirstOrderProver
+from repro.semantics.answers import Answer, AnswerStatus
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.cwa.closure import closure
+
+
+def _as_formula(value):
+    if isinstance(value, str):
+        from repro.logic.parser import parse
+
+        return parse(value)
+    return value
+
+
+class ClosedWorldEvaluator:
+    """Evaluates queries against Σ under the closed-world assumption."""
+
+    def __init__(self, theory, queries=(), config=DEFAULT_CONFIG):
+        self.theory = list(theory)
+        self.config = config
+        self._query_hint = list(queries)
+        self._closure = None
+        self._closure_prover = None
+        self._demo = None
+
+    # -- the collapsed (Theorem 7.1) route ---------------------------------
+    def _ensure_closure(self, queries=()):
+        hint = self._query_hint + list(queries)
+        rebuild = self._closure is None
+        if not rebuild:
+            # A query mentioning parameters outside the closure's universe
+            # needs the closure recomputed over a wider universe, otherwise
+            # its atoms would be left unconstrained instead of negated.
+            from repro.logic.signature import signature_of
+
+            needed = signature_of(self.theory, hint).parameters
+            rebuild = not needed <= set(self._closure_prover.universe)
+        if rebuild:
+            base = FirstOrderProver.for_theory(self.theory, queries=hint, config=self.config)
+            self._closure = closure(
+                self.theory, queries=hint, universe=base.universe, config=self.config, prover=base
+            )
+            # The closure prover must work over exactly the universe whose
+            # atoms the closure negates — extending it with further fresh
+            # witnesses would leave those unconstrained and reintroduce
+            # "unknown" answers the CWA is supposed to eliminate.
+            self._closure_prover = FirstOrderProver(
+                self._closure, base.universe, config=self.config
+            )
+        return self._closure_prover
+
+    def closure_sentences(self):
+        """Return the materialised ``Closure(Σ)``."""
+        self._ensure_closure()
+        return list(self._closure)
+
+    def ask(self, query):
+        """Answer a KFOPCE sentence under the CWA via the Theorem 7.1
+        collapse: erase ``K`` and ask the closure.  Strings are parsed.
+
+        Raises :class:`UnsatisfiableTheoryError` when the closure is
+        inconsistent (disjunctive databases), since then the collapse proves
+        everything and the CWA is the wrong tool — use the GCWA or
+        circumscription comparisons instead.
+        """
+        query = _as_formula(query)
+        prover = self._ensure_closure([query])
+        if not prover.is_satisfiable():
+            raise UnsatisfiableTheoryError(
+                "Closure(Σ) is unsatisfiable (the database has disjunctive "
+                "information); the closed-world assumption does not apply"
+            )
+        collapsed = remove_know(query)
+        if free_variables(collapsed):
+            raise ValueError("ask() expects a sentence; use answers() for open queries")
+        if prover.entails(collapsed):
+            return Answer(AnswerStatus.YES)
+        if prover.entails(Not(collapsed)):
+            return Answer(AnswerStatus.NO)
+        # Lemma 7.1 says this cannot happen for a satisfiable closure over the
+        # active universe; keep the branch for defensive completeness.
+        return Answer(AnswerStatus.UNKNOWN)
+
+    def answers(self, query):
+        """Answers to an open query under the CWA (collapse route)."""
+        query = _as_formula(query)
+        prover = self._ensure_closure([query])
+        if not prover.is_satisfiable():
+            raise UnsatisfiableTheoryError(
+                "Closure(Σ) is unsatisfiable; the closed-world assumption does not apply"
+            )
+        collapsed = remove_know(query)
+        variables = sorted(free_variables(collapsed), key=lambda v: v.name)
+        bindings = [
+            tuple(solution[v] for v in variables)
+            for solution in prover.enumerate_answers(collapsed, variables)
+        ]
+        status = AnswerStatus.YES if bindings else AnswerStatus.UNKNOWN
+        return Answer(status, tuple(bindings), tuple(v.name for v in variables))
+
+    # -- the demo + 𝒦(w) (Theorem 7.3) route ---------------------------------
+    def _ensure_demo(self, queries=()):
+        if self._demo is None:
+            self._demo = DemoEvaluator(
+                self.theory, config=self.config, queries=self._query_hint + list(queries)
+            )
+        return self._demo
+
+    def demo_query(self, first_order_query):
+        """Evaluate the first-order *query* under the CWA by running
+        ``demo(𝒦(query), Σ)`` (Theorem 7.3).
+
+        Returns the set of answer tuples; an empty set means the call finitely
+        failed, i.e. ``Closure(Σ) ⊨_FOPCE ~(∃x̄) query``.
+        """
+        first_order_query = _as_formula(first_order_query)
+        if not is_first_order(first_order_query):
+            raise ValueError(
+                "demo_query evaluates first-order queries under the CWA; for "
+                "KFOPCE queries use ask()/answers(), which apply the Theorem 7.1 collapse"
+            )
+        transformed = to_admissible_form(insert_know(rename_apart(first_order_query)))
+        evaluator = self._ensure_demo([transformed])
+        return all_answers(evaluator, transformed)
+
+    def demo_holds(self, first_order_sentence):
+        """Sentence version of :func:`demo_query`: True when the 𝒦-transformed
+        sentence succeeds under ``demo``."""
+        first_order_sentence = _as_formula(first_order_sentence)
+        if free_variables(first_order_sentence):
+            raise ValueError("demo_holds expects a sentence")
+        transformed = to_admissible_form(insert_know(rename_apart(first_order_sentence)))
+        evaluator = self._ensure_demo([transformed])
+        return evaluator.succeeds(transformed)

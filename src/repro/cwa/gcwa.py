@@ -1,0 +1,85 @@
+"""The generalized closed-world assumption and circumscription (Example 7.2).
+
+Theorem 7.1's collapse of ``K`` is specific to Reiter's CWA.  The paper
+contrasts it with two weaker closures that keep the epistemic distinctions
+alive on disjunctive databases:
+
+* the **generalized CWA** (Minker): a ground atom is assumed false when it is
+  false in every *minimal* model;
+* **circumscription** (predicate minimisation, here in its simplest
+  domain-closed form): entailment over the minimal models themselves.
+
+For Σ = {p ∨ q} both closures entail ``~K p`` while *not* entailing ``~p`` —
+the distinction Example 7.2 uses to show the collapse fails.  The functions
+here work over the finite active universe and the relevant-atom model
+enumeration, which is exactly the setting of that example.
+"""
+
+from repro.logic.syntax import Not, free_variables
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.models import enumerate_models, minimal_models
+from repro.semantics.truth import is_true
+from repro.cwa.closure import closure
+
+
+def _minimal_model_structures(theory, queries, config):
+    models, universe = enumerate_models(theory, queries, config=config)
+    return minimal_models(models), universe
+
+
+def circumscription_entails(theory, sentence, config=DEFAULT_CONFIG):
+    """Entailment over minimal models with the ``K`` operator interpreted
+    against the minimal-model set: the circumscriptive reading of
+    Example 7.2.
+
+    ``Circ(Σ) ⊨ σ`` iff σ is true in ``(W, 𝒮_min)`` for every minimal model
+    W, where ``𝒮_min`` is the set of minimal models.
+    """
+    if free_variables(sentence):
+        raise ValueError("circumscription_entails expects a sentence")
+    minimal, universe = _minimal_model_structures(list(theory), [sentence], config)
+    return all(is_true(sentence, world, minimal, universe) for world in minimal)
+
+
+def gcwa_negations(theory, queries=(), config=DEFAULT_CONFIG):
+    """Return the negated atoms licensed by the generalized CWA: ground atoms
+    false in every minimal model."""
+    from repro.semantics.models import relevant_atoms
+
+    theory = list(theory)
+    minimal, universe = _minimal_model_structures(theory, list(queries), config)
+    negations = []
+    for atom in relevant_atoms(theory, queries, universe=universe, config=config):
+        if all(not world.holds(atom) for world in minimal):
+            negations.append(Not(atom))
+    return negations
+
+
+def gcwa_entails(theory, sentence, config=DEFAULT_CONFIG):
+    """Entailment from ``Σ ∪ GCWA-negations`` under the ordinary epistemic
+    semantics (Definition 2.1) — the generalized-CWA reading of
+    Example 7.2."""
+    if free_variables(sentence):
+        raise ValueError("gcwa_entails expects a sentence")
+    theory = list(theory)
+    augmented = theory + gcwa_negations(theory, [sentence], config=config)
+    models, universe = enumerate_models(augmented, [sentence], config=config)
+    return all(is_true(sentence, world, models, universe) for world in models)
+
+
+def cwa_entails(theory, sentence, config=DEFAULT_CONFIG):
+    """Entailment from ``Closure(Σ)`` under the epistemic semantics — the
+    baseline the two weaker closures are compared against.  Note that for a
+    disjunctive Σ the closure is unsatisfiable and this entails everything,
+    which is precisely the pathology the GCWA avoids."""
+    from repro.semantics.models import active_universe
+
+    if free_variables(sentence):
+        raise ValueError("cwa_entails expects a sentence")
+    theory = list(theory)
+    # The model enumeration must range over exactly the universe whose atoms
+    # the closure negates (see ClosedWorldEvaluator for the same subtlety).
+    universe = active_universe(theory, [sentence], config=config)
+    closed = closure(theory, queries=[sentence], universe=universe, config=config)
+    models, _ = enumerate_models(closed, [sentence], universe=universe, config=config)
+    return all(is_true(sentence, world, models, universe) for world in models)

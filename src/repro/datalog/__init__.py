@@ -1,0 +1,31 @@
+"""A Datalog substrate: deductive databases in the Prolog-like sense.
+
+The paper repeatedly refers to "Prolog-like" / deductive databases — for
+example the completion-based definitions of integrity-constraint
+satisfaction (Definitions 3.3 and 3.4) only make sense for databases whose
+Clark completion is defined, and Section 5.1 points out that Σ "could be a
+Datalog program and *prove* could be realized using negation-as-failure".
+This subpackage provides that substrate:
+
+* :mod:`repro.datalog.program` — facts, rules (with optional stratified
+  negation in rule bodies), programs, and conversion to/from FOPCE sentences;
+* :mod:`repro.datalog.engine` — naive and semi-naive bottom-up evaluation
+  with stratified negation;
+* :mod:`repro.datalog.completion` — Clark's completion ``Comp(DB)`` as a set
+  of FOPCE sentences (plus unique-names handled by the FOPCE semantics
+  itself).
+"""
+
+from repro.datalog.program import DatalogFact, DatalogLiteral, DatalogProgram, DatalogRule
+from repro.datalog.engine import DatalogEngine, EvaluationStatistics
+from repro.datalog.completion import clark_completion
+
+__all__ = [
+    "DatalogEngine",
+    "DatalogFact",
+    "DatalogLiteral",
+    "DatalogProgram",
+    "DatalogRule",
+    "EvaluationStatistics",
+    "clark_completion",
+]

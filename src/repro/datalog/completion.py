@@ -1,0 +1,97 @@
+"""Clark's completion of a Datalog program (Clark 1978).
+
+Definitions 3.3 and 3.4 of the paper judge integrity-constraint satisfaction
+for "Prolog-like" databases against ``Comp(DB)`` — the completion of the
+program — rather than against the program itself.  The completion of a
+predicate gathers every clause with that predicate in the head into a single
+*if-and-only-if* definition::
+
+    p(x̄) ≡ ∃ȳ1 (x̄ = t̄1 ∧ body1) ∨ ... ∨ ∃ȳk (x̄ = t̄k ∧ bodyk)
+
+A predicate with no clauses at all completes to ``∀x̄ ~p(x̄)``.  Unique names
+axioms are not emitted because FOPCE builds unique names into its semantics.
+
+The completion is returned as FOPCE sentences, so the ordinary prover can
+check satisfiability and entailment against it — exactly what the
+constraint-satisfaction definitions need.
+"""
+
+from repro.logic.builders import conj, disj, forall, exists
+from repro.logic.syntax import Equals, Iff, Not, Atom
+from repro.logic.terms import Parameter, Variable, fresh_variable
+
+
+def _definition_variables(arity, avoid):
+    """Fresh head variables x1..xn for the completed definition."""
+    variables = []
+    taken = set(avoid)
+    for index in range(arity):
+        candidate = Variable(f"x{index + 1}")
+        while candidate.name in taken:
+            candidate = fresh_variable(avoid=taken, prefix=f"x{index + 1}_")
+        taken.add(candidate.name)
+        variables.append(candidate)
+    return variables
+
+
+def _clause_disjunct(head_variables, head_args, body_literals):
+    """Build ``∃ȳ (x̄ = t̄ ∧ body)`` for one clause."""
+    equalities = [Equals(hv, arg) for hv, arg in zip(head_variables, head_args)]
+    body_parts = []
+    clause_variables = set()
+    for literal in body_literals:
+        clause_variables |= literal.variables()
+        body_parts.append(literal.atom if literal.positive else Not(literal.atom))
+    matrix = conj(equalities + body_parts)
+    head_argument_variables = {a for a in head_args if isinstance(a, Variable)}
+    existential_variables = sorted(
+        clause_variables | head_argument_variables, key=lambda v: v.name
+    )
+    if existential_variables:
+        return exists([v.name for v in existential_variables], matrix)
+    return matrix
+
+
+def completed_definition(program, predicate, arity):
+    """Return the completed definition of ``predicate/arity`` as a FOPCE
+    sentence."""
+    head_variables = _definition_variables(arity, avoid=())
+    head_atom = Atom(predicate, tuple(head_variables))
+    disjuncts = []
+    for fact_atom in program.facts_for(predicate):
+        if fact_atom.arity != arity:
+            continue
+        equalities = [Equals(hv, arg) for hv, arg in zip(head_variables, fact_atom.args)]
+        disjuncts.append(conj(equalities))
+    for rule in program.rules_for(predicate, arity):
+        disjuncts.append(_clause_disjunct(head_variables, rule.head.args, rule.body))
+    if not disjuncts:
+        if arity == 0:
+            return Not(head_atom)
+        return forall([v.name for v in head_variables], Not(head_atom))
+    definition = Iff(head_atom, disj(disjuncts))
+    if arity == 0:
+        return definition
+    return forall([v.name for v in head_variables], definition)
+
+
+def clark_completion(program, include_facts_only_predicates=True):
+    """Return ``Comp(DB)`` as a list of FOPCE sentences.
+
+    Every predicate mentioned by the program receives a completed definition.
+    Set *include_facts_only_predicates* to False to complete only the
+    intensional (rule-defined) predicates and keep the extensional ones open
+    — a variation some authors use; the default completes everything, which
+    is the reading under which Theorem 7.2 relates the completion to
+    ``Closure(Σ)`` for relational databases.
+    """
+    completed = []
+    predicates = sorted(program.predicates())
+    for predicate, arity in predicates:
+        if not include_facts_only_predicates and not program.rules_for(predicate, arity):
+            for fact_atom in program.facts_for(predicate):
+                if fact_atom.arity == arity:
+                    completed.append(fact_atom)
+            continue
+        completed.append(completed_definition(program, predicate, arity))
+    return completed

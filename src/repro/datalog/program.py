@@ -1,0 +1,229 @@
+"""Datalog programs: facts, rules, literals.
+
+A :class:`DatalogProgram` is a set of ground facts plus rules
+``head :- body`` where the head is an atom and the body a sequence of
+literals (atoms or negated atoms; negation must be stratified for the engine
+to accept the program).  Rules must be *safe*: every variable of the head and
+of every negative literal must occur in some positive body literal — the
+classical range-restriction that also underlies the paper's notion of a rule
+(Definition 6.3).
+
+Programs convert to and from FOPCE sentences so that the same database can be
+fed to the Datalog engine, to the first-order prover and to the ``demo``
+evaluator; this is the "Σ could be a Datalog program" decoupling of
+Section 5.1.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ReproError
+from repro.logic.builders import conj, forall
+from repro.logic.syntax import And, Atom, Forall, Implies, Not, free_variables
+from repro.logic.terms import Parameter, Term, Variable
+
+
+@dataclass(frozen=True)
+class DatalogLiteral:
+    """A body literal: an atom with a sign."""
+
+    atom: Atom
+    positive: bool = True
+
+    def __str__(self):
+        rendered = f"{self.atom.predicate}({', '.join(str(a) for a in self.atom.args)})"
+        return rendered if self.positive else f"not {rendered}"
+
+    def variables(self):
+        return {a for a in self.atom.args if isinstance(a, Variable)}
+
+
+@dataclass(frozen=True)
+class DatalogFact:
+    """A ground fact."""
+
+    atom: Atom
+
+    def __post_init__(self):
+        if any(not isinstance(a, Parameter) for a in self.atom.args):
+            raise ReproError(f"facts must be ground: {self.atom}")
+
+    def __str__(self):
+        return f"{self.atom.predicate}({', '.join(str(a) for a in self.atom.args)})."
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """A rule ``head :- body``.
+
+    The body may be empty, in which case the head must be ground and the rule
+    behaves as a fact.
+    """
+
+    head: Atom
+    body: Tuple[DatalogLiteral, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+        self._check_safety()
+
+    def _check_safety(self):
+        positive_variables = set()
+        for literal in self.body:
+            if literal.positive:
+                positive_variables |= literal.variables()
+        head_variables = {a for a in self.head.args if isinstance(a, Variable)}
+        unsafe = head_variables - positive_variables
+        if unsafe:
+            raise ReproError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} do not "
+                "occur in a positive body literal"
+            )
+        for literal in self.body:
+            if not literal.positive:
+                loose = literal.variables() - positive_variables
+                if loose:
+                    raise ReproError(
+                        f"unsafe rule: negated literal {literal} uses variables "
+                        f"{sorted(v.name for v in loose)} not bound by a positive literal"
+                    )
+
+    def is_fact(self):
+        return not self.body
+
+    def variables(self):
+        found = {a for a in self.head.args if isinstance(a, Variable)}
+        for literal in self.body:
+            found |= literal.variables()
+        return found
+
+    def __str__(self):
+        head = f"{self.head.predicate}({', '.join(str(a) for a in self.head.args)})"
+        if not self.body:
+            return f"{head}."
+        return f"{head} :- {', '.join(str(l) for l in self.body)}."
+
+
+class DatalogProgram:
+    """A collection of facts and rules over an implicit schema."""
+
+    def __init__(self, facts=(), rules=()):
+        self.facts = []
+        self.rules = []
+        for fact in facts:
+            self.add_fact(fact)
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- construction ------------------------------------------------------
+    def add_fact(self, fact):
+        """Add a ground fact (a :class:`DatalogFact` or a ground atom)."""
+        if isinstance(fact, Atom):
+            fact = DatalogFact(fact)
+        if not isinstance(fact, DatalogFact):
+            raise TypeError(f"expected a fact, got {fact!r}")
+        self.facts.append(fact)
+        return fact
+
+    def add_rule(self, rule):
+        """Add a rule; ground bodiless rules are stored as facts."""
+        if not isinstance(rule, DatalogRule):
+            raise TypeError(f"expected a DatalogRule, got {rule!r}")
+        if rule.is_fact():
+            return self.add_fact(DatalogFact(rule.head))
+        self.rules.append(rule)
+        return rule
+
+    def rule(self, head, *body):
+        """Convenience: ``program.rule(head_atom, atom1, Not-style pairs...)``.
+
+        Body items may be atoms (positive literals), ``(atom, False)`` pairs
+        or :class:`DatalogLiteral` instances.
+        """
+        literals = []
+        for item in body:
+            if isinstance(item, DatalogLiteral):
+                literals.append(item)
+            elif isinstance(item, Atom):
+                literals.append(DatalogLiteral(item, True))
+            elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], Atom):
+                literals.append(DatalogLiteral(item[0], bool(item[1])))
+            else:
+                raise TypeError(f"cannot interpret body item {item!r}")
+        return self.add_rule(DatalogRule(head, tuple(literals)))
+
+    # -- inspection ---------------------------------------------------------
+    def predicates(self):
+        """Return every ``(name, arity)`` pair mentioned by the program."""
+        found = set()
+        for fact in self.facts:
+            found.add((fact.atom.predicate, fact.atom.arity))
+        for rule in self.rules:
+            found.add((rule.head.predicate, rule.head.arity))
+            for literal in rule.body:
+                found.add((literal.atom.predicate, literal.atom.arity))
+        return found
+
+    def idb_predicates(self):
+        """Predicates defined by at least one rule head (intensional)."""
+        return {(r.head.predicate, r.head.arity) for r in self.rules}
+
+    def edb_predicates(self):
+        """Predicates that appear only in facts / rule bodies (extensional)."""
+        return self.predicates() - self.idb_predicates()
+
+    def parameters(self):
+        """Every parameter mentioned by the program."""
+        found = set()
+        for fact in self.facts:
+            found.update(fact.atom.args)
+        for rule in self.rules:
+            for term in rule.head.args:
+                if isinstance(term, Parameter):
+                    found.add(term)
+            for literal in rule.body:
+                for term in literal.atom.args:
+                    if isinstance(term, Parameter):
+                        found.add(term)
+        return found
+
+    def rules_for(self, predicate, arity):
+        """Return the rules whose head predicate is ``predicate/arity``."""
+        return [
+            r
+            for r in self.rules
+            if r.head.predicate == predicate and r.head.arity == arity
+        ]
+
+    def facts_for(self, predicate):
+        """Return the fact atoms of the given predicate name."""
+        return [f.atom for f in self.facts if f.atom.predicate == predicate]
+
+    def is_definite(self):
+        """Return True when no rule body contains a negated literal."""
+        return all(l.positive for r in self.rules for l in r.body)
+
+    # -- conversion to first-order sentences ---------------------------------
+    def to_sentences(self):
+        """Render the program as FOPCE sentences (facts plus universally
+        quantified implications).  Negative body literals become negated
+        atoms in the antecedent."""
+        sentences = [fact.atom for fact in self.facts]
+        for rule in self.rules:
+            body_parts = [
+                literal.atom if literal.positive else Not(literal.atom)
+                for literal in rule.body
+            ]
+            implication = Implies(conj(body_parts), rule.head)
+            variables = sorted(rule.variables(), key=lambda v: v.name)
+            sentences.append(
+                forall([v.name for v in variables], implication) if variables else implication
+            )
+        return sentences
+
+    def __len__(self):
+        return len(self.facts) + len(self.rules)
+
+    def __str__(self):
+        lines = [str(f) for f in self.facts] + [str(r) for r in self.rules]
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""The public facade: :class:`EpistemicDatabase`.
+
+Ties the whole system together behind the interface a downstream user works
+with: tell first-order sentences, ask KFOPCE queries (yes/no/unknown or
+bindings), register epistemic integrity constraints, update with incremental
+re-checking and triggers, and switch to the closed-world view.
+"""
+
+from repro.db.database import EpistemicDatabase
+from repro.db.transactions import Transaction
+
+__all__ = ["EpistemicDatabase", "Transaction"]

@@ -1,0 +1,292 @@
+"""``EpistemicDatabase`` — the user-facing database object.
+
+A thin, stateful orchestration layer over the rest of the package:
+
+* the **content** is a list of FOPCE sentences (facts, disjunctions,
+  existentials, rules — anything first order), exactly the paper's notion of
+  a database;
+* **queries** are KFOPCE formulas (strings are parsed); ``ask`` returns
+  yes/no/unknown for sentences, ``answers`` returns bindings for open
+  queries, ``demo`` exposes the Prolog-style evaluator for admissible
+  queries;
+* **integrity constraints** are KFOPCE sentences checked with the same
+  machinery (Definition 3.5); updates re-check incrementally and can fire
+  procedural triggers;
+* ``closed_world()`` returns a closed-world view of the same content
+  (Section 7).
+
+Evaluation strategy defaults to the prover-based reduction; the
+model-enumeration oracle can be requested per call for small databases
+(``strategy="models"``), which is also how the test-suite cross-checks the
+two paths.
+"""
+
+from repro.exceptions import ConstraintViolationError, NotFirstOrderError
+from repro.logic.classify import is_first_order
+from repro.logic.parser import parse, parse_many
+from repro.logic.printer import to_text
+from repro.logic.syntax import Formula, free_variables
+from repro.constraints.checker import IntegrityChecker
+from repro.constraints.triggers import TriggerManager
+from repro.cwa.evaluation import ClosedWorldEvaluator
+from repro.evaluator.all_answers import all_answers
+from repro.evaluator.demo import DemoEvaluator
+from repro.semantics import entailment as model_entailment
+from repro.semantics.answers import Answer
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.reduction import EpistemicReducer
+
+
+def _as_formula(value):
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, str):
+        return parse(value)
+    raise TypeError(f"expected a formula or a string, got {value!r}")
+
+
+class EpistemicDatabase:
+    """A deductive database queried in KFOPCE.
+
+    Example::
+
+        db = EpistemicDatabase.from_text('''
+            Teach(John, Math)
+            exists x. Teach(x, CS)
+            Teach(Mary, Psych) | Teach(Sue, Psych)
+        ''')
+        db.ask("K Teach(John, Math)").is_yes          # True
+        db.ask("exists x. K Teach(x, CS)").is_no      # True — no known CS teacher
+        db.answers("K Teach(John, ?c)").values()      # {Parameter('Math')}
+    """
+
+    def __init__(self, sentences=(), constraints=(), config=DEFAULT_CONFIG):
+        self.config = config
+        self._sentences = []
+        self._constraints = []
+        self._checker = IntegrityChecker(config=config)
+        self._triggers = TriggerManager(config=config)
+        self._dirty = True
+        self._reducer = None
+        for sentence in sentences:
+            self.tell(sentence, check_constraints=False, fire_triggers=False)
+        for constraint in constraints:
+            self.add_constraint(constraint, check_now=False)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_text(cls, text, constraints_text="", config=DEFAULT_CONFIG):
+        """Build a database from newline/semicolon separated sentences (and
+        optionally constraints) in the parser's surface syntax."""
+        database = cls(parse_many(text), config=config)
+        for constraint in parse_many(constraints_text):
+            database.add_constraint(constraint, check_now=False)
+        return database
+
+    @classmethod
+    def from_relational(cls, relational_database, config=DEFAULT_CONFIG):
+        """Build an (open-world) database from a relational instance; combine
+        with :meth:`closed_world` for the classical relational reading."""
+        return cls(relational_database.to_theory(), config=config)
+
+    @classmethod
+    def from_datalog(cls, program, config=DEFAULT_CONFIG):
+        """Build a database from a Datalog program, rendered as first-order
+        sentences (facts plus universally quantified rules)."""
+        return cls(program.to_sentences(), config=config)
+
+    # -- content management -----------------------------------------------------
+    def sentences(self):
+        """Return the database content (a copy)."""
+        return list(self._sentences)
+
+    def constraints(self):
+        """Return the registered integrity constraints (a copy)."""
+        return list(self._constraints)
+
+    @property
+    def triggers(self):
+        """The :class:`~repro.constraints.triggers.TriggerManager`."""
+        return self._triggers
+
+    def tell(self, sentence, check_constraints=True, fire_triggers=True):
+        """Assert a first-order sentence.
+
+        When *check_constraints* is set and the updated database would
+        violate a registered constraint, the assertion is rolled back and
+        :class:`~repro.exceptions.ConstraintViolationError` is raised.
+        Returns the constraint report (or ``None`` when checking was
+        skipped).
+        """
+        formula = _as_formula(sentence)
+        if not is_first_order(formula):
+            raise NotFirstOrderError(
+                "databases contain first-order sentences; epistemic sentences "
+                f"belong in the constraints: {to_text(formula)}"
+            )
+        if free_variables(formula):
+            raise ValueError(f"database sentences must be closed: {to_text(formula)}")
+        self._sentences.append(formula)
+        self._dirty = True
+        report = None
+        if check_constraints and self._constraints:
+            report, _ = self._checker.check_update(
+                self._sentences[:-1], added=[formula], constraints=self._constraints
+            )
+            if not report.satisfied:
+                self._sentences.pop()
+                self._dirty = True
+                raise ConstraintViolationError(
+                    f"asserting {to_text(formula)} violates integrity constraints",
+                    violations=report.violations,
+                )
+        if fire_triggers and self._triggers.triggers:
+            self._triggers.fire(self)
+        return report
+
+    def retract(self, sentence, check_constraints=True):
+        """Remove a previously asserted sentence (no-op when absent)."""
+        formula = _as_formula(sentence)
+        if formula not in self._sentences:
+            return None
+        self._sentences.remove(formula)
+        self._dirty = True
+        if check_constraints and self._constraints:
+            report = self.check_constraints()
+            if not report.satisfied:
+                self._sentences.append(formula)
+                self._dirty = True
+                raise ConstraintViolationError(
+                    f"retracting {to_text(formula)} violates integrity constraints",
+                    violations=report.violations,
+                )
+            return report
+        return None
+
+    def add_constraint(self, constraint, check_now=True):
+        """Register a KFOPCE integrity constraint (Definition 3.5)."""
+        formula = _as_formula(constraint)
+        self._constraints.append(formula)
+        if check_now:
+            report = self.check_constraints()
+            if not report.satisfied:
+                self._constraints.pop()
+                raise ConstraintViolationError(
+                    f"the database does not satisfy {to_text(formula)}",
+                    violations=report.violations,
+                )
+            return report
+        return None
+
+    # -- evaluation ---------------------------------------------------------------
+    def _reducer_for(self, queries):
+        if self._dirty or self._reducer is None:
+            self._reducer = EpistemicReducer(
+                self._sentences,
+                config=self.config,
+                queries=list(queries) + list(self._constraints),
+            )
+            self._dirty = False
+            return self._reducer
+        # Reuse only when the cached universe already covers the new queries.
+        from repro.logic.signature import signature_of
+
+        needed = signature_of(self._sentences, queries).parameters
+        if needed <= set(self._reducer.universe):
+            return self._reducer
+        self._reducer = EpistemicReducer(
+            self._sentences, config=self.config, queries=list(queries) + list(self._constraints)
+        )
+        return self._reducer
+
+    def ask(self, query, strategy="reduction"):
+        """Answer a KFOPCE sentence with yes / no / unknown.
+
+        ``strategy="models"`` uses the model-enumeration oracle instead of
+        the prover-based reduction (small databases only).
+        """
+        formula = _as_formula(query)
+        if strategy == "models":
+            return model_entailment.ask(self._sentences, formula, config=self.config)
+        return self._reducer_for([formula]).ask(formula)
+
+    def answers(self, query, strategy="reduction"):
+        """Return the definite answers to an open KFOPCE query."""
+        formula = _as_formula(query)
+        if strategy == "models":
+            return model_entailment.answers(self._sentences, formula, config=self.config)
+        return self._reducer_for([formula]).answers(formula)
+
+    def indefinite_answers(self, query, max_group_size=3):
+        """Return definite plus indefinite (disjunctive) answers — the
+        paper's "Mary or Sue" — via the model-enumeration semantics."""
+        formula = _as_formula(query)
+        return model_entailment.indefinite_answers(
+            self._sentences, formula, config=self.config, max_group_size=max_group_size
+        )
+
+    def entails(self, query):
+        """Return True when the database entails the KFOPCE sentence."""
+        return self.ask(query).is_yes
+
+    def demo(self, query, validate=True):
+        """Run the Prolog-style ``demo`` evaluator on an admissible query and
+        return the set of answer tuples (Section 5)."""
+        formula = _as_formula(query)
+        evaluator = DemoEvaluator(
+            self._sentences,
+            config=self.config,
+            prover=self._reducer_for([formula]).prover,
+        )
+        return all_answers(evaluator, formula, validate=validate)
+
+    def demo_evaluator(self, queries=()):
+        """Return a :class:`~repro.evaluator.demo.DemoEvaluator` bound to the
+        current content (for callers who want the generator interface)."""
+        parsed = [_as_formula(q) for q in queries]
+        return DemoEvaluator(
+            self._sentences, config=self.config, prover=self._reducer_for(parsed).prover
+        )
+
+    # -- constraints ------------------------------------------------------------------
+    def check_constraints(self, with_witnesses=True):
+        """Check every registered constraint; returns a
+        :class:`~repro.constraints.checker.ConstraintReport`."""
+        return self._checker.check(
+            self._sentences, constraints=self._constraints, with_witnesses=with_witnesses
+        )
+
+    def satisfies(self, constraint):
+        """Definition 3.5: does the database satisfy this (possibly
+        unregistered) constraint?"""
+        formula = _as_formula(constraint)
+        return self._reducer_for([formula]).entails(formula)
+
+    def transaction(self):
+        """Return a :class:`~repro.db.transactions.Transaction` for staging a
+        batch of assertions/retractions that must satisfy the constraints as
+        a unit (e.g. a new employee together with her social security
+        number)."""
+        from repro.db.transactions import Transaction
+
+        return Transaction(self)
+
+    # -- closed world -------------------------------------------------------------------
+    def closed_world(self, queries=()):
+        """Return a :class:`~repro.cwa.evaluation.ClosedWorldEvaluator` over
+        the current content (Section 7)."""
+        parsed = [_as_formula(q) for q in queries]
+        return ClosedWorldEvaluator(self._sentences, queries=parsed, config=self.config)
+
+    # -- misc --------------------------------------------------------------------------
+    def __len__(self):
+        return len(self._sentences)
+
+    def __contains__(self, sentence):
+        return _as_formula(sentence) in self._sentences
+
+    def __repr__(self):
+        return (
+            f"EpistemicDatabase(sentences={len(self._sentences)}, "
+            f"constraints={len(self._constraints)})"
+        )

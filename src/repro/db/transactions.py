@@ -1,0 +1,105 @@
+"""Transactional updates for :class:`~repro.db.database.EpistemicDatabase`.
+
+The paper's discussion of incremental integrity maintenance (Section 8,
+item 4) presumes updates arrive as units: a batch of assertions and
+retractions whose *net* effect must leave the constraints satisfied, even if
+intermediate states would not (recording a new employee and her social
+security number is one update, regardless of the order of the two facts).
+:class:`Transaction` provides exactly that:
+
+* ``tell`` / ``retract`` stage changes without touching the database;
+* ``commit`` applies the whole batch, re-checks only the constraints whose
+  predicates the batch touches (the Nicolas-style relevance filter already
+  used by the checker), fires triggers once, and rolls everything back if a
+  constraint fails;
+* the object is also a context manager — leaving the ``with`` block commits,
+  an exception inside it discards the staged changes.
+"""
+
+from repro.exceptions import ConstraintViolationError
+from repro.logic.printer import to_text
+
+
+class Transaction:
+    """A staged batch of assertions and retractions against one database."""
+
+    def __init__(self, database):
+        self._database = database
+        self._additions = []
+        self._retractions = []
+        self._committed = False
+
+    # -- staging ---------------------------------------------------------
+    def tell(self, sentence):
+        """Stage an assertion (string or formula)."""
+        from repro.db.database import _as_formula
+
+        self._additions.append(_as_formula(sentence))
+        return self
+
+    def retract(self, sentence):
+        """Stage a retraction."""
+        from repro.db.database import _as_formula
+
+        self._retractions.append(_as_formula(sentence))
+        return self
+
+    @property
+    def pending(self):
+        """The staged (additions, retractions) as tuples."""
+        return tuple(self._additions), tuple(self._retractions)
+
+    # -- lifecycle --------------------------------------------------------
+    def commit(self):
+        """Apply the batch atomically.
+
+        Raises :class:`~repro.exceptions.ConstraintViolationError` (and leaves
+        the database untouched) when the *net* state violates a registered
+        constraint.  Returns the constraint report of the incremental check
+        (``None`` when the database has no constraints).
+        """
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        database = self._database
+        report = None
+        if database.constraints():
+            report, _ = database._checker.check_update(
+                database.sentences(),
+                added=self._additions,
+                removed=self._retractions,
+                constraints=database.constraints(),
+            )
+            if not report.satisfied:
+                staged = ", ".join(to_text(s) for s in self._additions + self._retractions)
+                raise ConstraintViolationError(
+                    f"transaction [{staged}] violates integrity constraints",
+                    violations=report.violations,
+                )
+        for sentence in self._retractions:
+            if sentence in database._sentences:
+                database._sentences.remove(sentence)
+        for sentence in self._additions:
+            database._sentences.append(sentence)
+        database._dirty = True
+        self._committed = True
+        if database.triggers.triggers:
+            database.triggers.fire(database)
+        return report
+
+    def rollback(self):
+        """Discard the staged changes."""
+        self._additions.clear()
+        self._retractions.clear()
+        self._committed = True
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if exc_type is not None:
+            self.rollback()
+            return False
+        if not self._committed:
+            self.commit()
+        return False

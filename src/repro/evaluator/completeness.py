@@ -1,0 +1,189 @@
+"""Completeness machinery for ``demo`` (Section 6).
+
+Theorem 5.1 makes ``demo`` *sound* for admissible formulas; Section 6 asks
+when it also *terminates* (completeness).  The key notion is a family
+``F_Σ`` of first-order formulas each of which has finitely many instances
+against Σ (Definition 6.2); formulas *almost admissible* with respect to such
+a family — and admissible wrt it once their quantified variables are renamed
+apart — are guaranteed to terminate (Theorem 6.1).
+
+Theorem 6.2 instantiates the machinery for **elementary databases**
+(Definition 6.3): when Σ is elementary and mentions finitely many parameters,
+the family of positive-existential formulas with disjunctively linked
+variables (plus equalities/inequalities between parameters and
+variable-parameter equalities) qualifies, so ``demo`` is a sound and complete
+evaluator for every query admissible with respect to it.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.logic.classify import (
+    has_disjunctively_linked_variables,
+    is_elementary_theory,
+    is_first_order,
+    is_positive_existential,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.syntax import (
+    And,
+    Equals,
+    Exists,
+    Know,
+    Not,
+    free_variables,
+    subformulas,
+)
+from repro.logic.classify import has_distinct_quantified_variables, is_subjective
+from repro.logic.terms import Parameter, Variable
+
+
+@dataclass(frozen=True)
+class FormulaFamily:
+    """A family ``F_Σ`` of first-order formulas with finitely many instances.
+
+    Membership is decided by *member*, a predicate on formulas.  The family
+    is only meaningful relative to the database Σ it was built for; the
+    constructors below document which databases make the finiteness
+    obligation true.
+    """
+
+    name: str
+    member: Callable[[object], bool]
+    description: str = ""
+
+    def __contains__(self, formula):
+        return bool(self.member(formula))
+
+
+def elementary_family(theory=None, check=True):
+    """The family ``F_Σ`` of Theorem 6.2.
+
+    Members are: positive-existential formulas with disjunctively linked
+    variables; equalities and inequalities between parameters; and the atoms
+    ``x = p`` / ``p = x`` for a variable and a parameter.  When *theory* is
+    given and *check* is True, a :class:`ValueError` is raised unless the
+    theory is elementary (otherwise the finiteness obligation of Definition
+    6.2 has not been discharged and Theorem 6.2 does not apply).
+    """
+    if theory is not None and check and not is_elementary_theory(theory):
+        raise ValueError(
+            "Theorem 6.2 requires an elementary database (positive-existential "
+            "sentences and range-restricted rules, no equality)"
+        )
+
+    def member(formula):
+        if isinstance(formula, Equals):
+            return True  # covers p = p', x = p and p = x
+        if isinstance(formula, Not) and isinstance(formula.body, Equals):
+            left, right = formula.body.left, formula.body.right
+            return isinstance(left, Parameter) and isinstance(right, Parameter)
+        if not is_first_order(formula):
+            return False
+        return is_positive_existential(formula) and has_disjunctively_linked_variables(formula)
+
+    return FormulaFamily(
+        name="elementary",
+        member=member,
+        description=(
+            "positive-existential formulas with disjunctively linked variables, "
+            "parameter (in)equalities, and variable-parameter equalities "
+            "(Theorem 6.2)"
+        ),
+    )
+
+
+def first_order_family(predicate=None):
+    """A custom family from an arbitrary membership predicate; the caller is
+    responsible for the finiteness obligation of Definition 6.2."""
+    member = predicate if predicate is not None else is_first_order
+    return FormulaFamily(name="custom", member=member, description="caller-supplied family")
+
+
+#: Parameter used as the representative witness when the a.a. definition
+#: requires "σ₂|x̄/p̄ is a.a. for all parameters p̄".
+_WITNESS = Parameter("_aa_witness")
+
+
+def is_almost_admissible(formula, family):
+    """Definition 6.2: the formulas almost admissible (a.a.) wrt ``F_Σ`` are
+    the smallest set such that
+
+    1. members of F_Σ are a.a.,
+    2. ``~σ`` is a.a. when σ is a subjective a.a. sentence,
+    3. ``(exists x) σ`` is a.a. when σ is a subjective a.a. formula,
+    4. ``K σ`` is a.a. when σ is,
+    5. ``σ1 & σ2`` is a.a. when σ1 is (with free variables x̄) and
+       ``σ2|x̄/p̄`` is a.a. for all parameters p̄.
+
+    Every a.a. formula is safe (Remark 6.1).
+    """
+    if formula in family:
+        return True
+    if isinstance(formula, Not):
+        body = formula.body
+        return (
+            not free_variables(body)
+            and is_subjective(body)
+            and is_almost_admissible(body, family)
+        )
+    if isinstance(formula, Exists):
+        return is_subjective(formula.body) and is_almost_admissible(formula.body, family)
+    if isinstance(formula, Know):
+        return is_almost_admissible(formula.body, family)
+    if isinstance(formula, And):
+        if not is_almost_admissible(formula.left, family):
+            return False
+        witnessed = Substitution(
+            {v: _WITNESS for v in free_variables(formula.left)}
+        ).apply(formula.right)
+        return is_almost_admissible(witnessed, family)
+    return False
+
+
+def is_admissible_wrt(formula, family):
+    """Remark 6.2: an a.a. formula whose quantified variables are distinct
+    from one another and from its free variables is *admissible wrt* the
+    family — and hence admissible, so Theorems 5.1 and 6.1 both apply."""
+    return has_distinct_quantified_variables(formula) and is_almost_admissible(formula, family)
+
+
+@dataclass(frozen=True)
+class CompletenessReport:
+    """The outcome of checking Theorem 6.2's sufficient conditions."""
+
+    complete: bool
+    reason: str
+    family: Optional[FormulaFamily] = None
+
+
+def demo_is_complete_for(formula, theory):
+    """Check the sufficient conditions of Theorem 6.2 for *formula* against
+    *theory*.
+
+    Returns a :class:`CompletenessReport`; ``complete`` is True when the
+    theory is elementary (and therefore mentions finitely many parameters —
+    it is a finite object here) and the formula is admissible with respect to
+    the elementary family, in which case ``demo`` is guaranteed to terminate
+    having produced every answer.
+    """
+    if not is_elementary_theory(theory):
+        return CompletenessReport(
+            complete=False,
+            reason="the database is not elementary (Definition 6.3)",
+        )
+    family = elementary_family(theory, check=False)
+    if not is_admissible_wrt(formula, family):
+        return CompletenessReport(
+            complete=False,
+            reason=(
+                "the query is not admissible with respect to the elementary "
+                "family F_Σ of Theorem 6.2"
+            ),
+            family=family,
+        )
+    return CompletenessReport(
+        complete=True,
+        reason="Σ is elementary and the query is admissible wrt F_Σ (Theorem 6.2)",
+        family=family,
+    )

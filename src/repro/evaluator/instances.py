@@ -1,0 +1,62 @@
+"""``Instances(w, Σ)`` — Definition 6.1.
+
+The instances of a KFOPCE formula *w* with free variables x̄ against a
+database Σ are the parameter tuples p̄ with ``Σ ⊨ w|p̄``.  Finiteness of this
+set for the subformulas of a query is what drives the termination argument of
+Theorem 6.1, so the completeness machinery needs to compute (or at least
+bound) it.
+"""
+
+from itertools import product
+
+from repro.logic.classify import is_first_order
+from repro.logic.substitution import Substitution
+from repro.logic.syntax import free_variables
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.reduction import EpistemicReducer
+
+
+def instances(formula, theory, universe=None, config=DEFAULT_CONFIG, reducer=None):
+    """Return ``Instances(formula, Σ)`` over the active universe.
+
+    For first-order formulas this coincides with the set of tuples entailed
+    under ``⊨_FOPCE`` (the remark after Definition 6.1); for modal formulas
+    the epistemic ⊨ of Definition 2.1 is used.  The result is a set of tuples
+    ordered by the formula's free variables sorted by name; for sentences the
+    result is either ``{()}`` (entailed) or ``set()``.
+    """
+    if reducer is None:
+        reducer = EpistemicReducer(theory, universe=universe, config=config, queries=[formula])
+    variables = sorted(free_variables(formula), key=lambda v: v.name)
+    if not variables:
+        return {()} if reducer.entails(formula) else set()
+    found = set()
+    for values in product(reducer.universe, repeat=len(variables)):
+        instance = Substitution(dict(zip(variables, values))).apply(formula)
+        if reducer.entails(instance):
+            found.add(values)
+    return found
+
+
+def instances_are_finite(formula, theory, universe=None, config=DEFAULT_CONFIG):
+    """Return True when ``Instances(formula, Σ)`` is finite *by construction*
+    of the finite active universe.
+
+    Over a finite universe every instance set is finite, so this function
+    instead answers the question the paper's Lemma 6.3 cares about: do the
+    answers stay within the parameters mentioned by Σ (so that enlarging the
+    universe cannot add new ones)?  It checks that no returned tuple mentions
+    one of the fresh witness parameters.
+    """
+    if universe is None:
+        reducer = EpistemicReducer(theory, config=config, queries=[formula])
+        universe = reducer.universe
+    else:
+        reducer = EpistemicReducer(theory, universe=universe, config=config)
+    from repro.logic.signature import signature_of
+
+    mentioned = signature_of(theory, [formula]).parameters
+    for tuple_ in instances(formula, theory, universe=universe, config=config, reducer=reducer):
+        if any(parameter not in mentioned for parameter in tuple_):
+            return False
+    return True

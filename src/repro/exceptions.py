@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParseError(ReproError):
+    """Raised when the formula parser cannot turn text into a formula."""
+
+    def __init__(self, message, text=None, position=None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class NotFirstOrderError(ReproError):
+    """Raised when a FOPCE (first-order) formula was required but the
+    argument mentions the ``K`` operator."""
+
+
+class NotASentenceError(ReproError):
+    """Raised when a closed formula (sentence) was required but the argument
+    has free variables."""
+
+
+class NotSafeError(ReproError):
+    """Raised when a formula fails the safety requirement of Definition 5.1."""
+
+
+class NotAdmissibleError(ReproError):
+    """Raised when a formula fails the admissibility requirement of
+    Definition 5.3 (and the evaluator was asked to validate its input)."""
+
+
+class NotSubjectiveError(ReproError):
+    """Raised when a subjective formula (Definition 5.2) was required."""
+
+
+class NotElementaryError(ReproError):
+    """Raised when an elementary theory (Definition 6.3) was required."""
+
+
+class UnsatisfiableTheoryError(ReproError):
+    """Raised by operations whose preconditions require a satisfiable theory
+    (e.g. Theorem 5.1 assumes Σ satisfiable) when the theory is inconsistent."""
+
+
+class UniverseTooLargeError(ReproError):
+    """Raised when an exhaustive procedure (model enumeration, KFOPCE validity
+    checking) would have to enumerate more candidates than its configured
+    limit allows."""
+
+
+class StratificationError(ReproError):
+    """Raised when a Datalog program with negation cannot be stratified."""
+
+
+class EvaluationDepthError(ReproError):
+    """Raised when the demo evaluator exceeds its recursion/step budget,
+    which indicates a (possibly) non-terminating query outside the
+    completeness fragment of Section 6."""
+
+
+class ConstraintViolationError(ReproError):
+    """Raised by strict update operations when a change would leave the
+    database violating one of its integrity constraints."""
+
+    def __init__(self, message, violations=None):
+        super().__init__(message)
+        self.violations = tuple(violations or ())
+
+
+class UnknownPredicateError(ReproError):
+    """Raised by the relational layer when a statement refers to a relation
+    that is not part of the schema."""
+
+
+class ArityMismatchError(ReproError):
+    """Raised when a predicate/relation is used with the wrong number of
+    arguments."""

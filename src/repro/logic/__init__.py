@@ -1,0 +1,151 @@
+"""FOPCE / KFOPCE syntax: terms, formulas, parsing, printing, transforms.
+
+The language follows Section 2 of the paper:
+
+* **Parameters** are the constants of the language.  They are pairwise
+  distinct and jointly form the domain of discourse.
+* **Variables** are the quantifiable symbols.
+* **FOPCE** formulas are built from atoms and equalities with ``~``, ``&``,
+  ``|``, ``->``, ``<->``, ``forall`` and ``exists``.
+* **KFOPCE** adds the single epistemic operator ``K`` ("the database knows").
+
+The public surface of this subpackage re-exports the most frequently used
+constructors and helpers so that ``from repro.logic import ...`` suffices for
+everyday use.
+"""
+
+from repro.logic.terms import Parameter, Term, Variable, is_ground_term, term_from
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    atoms_of,
+    free_variables,
+    is_ground,
+    is_sentence,
+    parameters_of,
+    predicates_of,
+    subformulas,
+    variables_of,
+)
+from repro.logic.builders import (
+    conj,
+    disj,
+    exists,
+    forall,
+    iff,
+    implies,
+    knows,
+    neg,
+    param,
+    params,
+    pred,
+    var,
+    variables,
+)
+from repro.logic.substitution import Substitution, substitute
+from repro.logic.parser import parse, parse_many
+from repro.logic.printer import to_text, to_unicode
+from repro.logic.classify import (
+    is_admissible,
+    is_elementary_theory,
+    is_first_order,
+    is_k1,
+    is_modal,
+    is_normal_query,
+    is_positive_existential,
+    is_rule,
+    is_safe,
+    is_subjective,
+    has_disjunctively_linked_variables,
+)
+from repro.logic.transform import (
+    eliminate_implications,
+    insert_know,
+    negation_normal_form,
+    remove_know,
+    rename_apart,
+    right_associate,
+    simplify,
+    to_admissible_form,
+)
+from repro.logic.signature import Signature, signature_of
+
+__all__ = [
+    "And",
+    "Atom",
+    "Bottom",
+    "Equals",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Know",
+    "Not",
+    "Or",
+    "Parameter",
+    "Signature",
+    "Substitution",
+    "Term",
+    "Top",
+    "Variable",
+    "atoms_of",
+    "conj",
+    "disj",
+    "eliminate_implications",
+    "exists",
+    "forall",
+    "free_variables",
+    "has_disjunctively_linked_variables",
+    "iff",
+    "implies",
+    "insert_know",
+    "is_admissible",
+    "is_elementary_theory",
+    "is_first_order",
+    "is_ground",
+    "is_ground_term",
+    "is_k1",
+    "is_modal",
+    "is_normal_query",
+    "is_positive_existential",
+    "is_rule",
+    "is_safe",
+    "is_sentence",
+    "is_subjective",
+    "knows",
+    "neg",
+    "negation_normal_form",
+    "param",
+    "parameters_of",
+    "params",
+    "parse",
+    "parse_many",
+    "pred",
+    "predicates_of",
+    "remove_know",
+    "rename_apart",
+    "right_associate",
+    "signature_of",
+    "simplify",
+    "subformulas",
+    "substitute",
+    "term_from",
+    "to_admissible_form",
+    "to_text",
+    "to_unicode",
+    "var",
+    "variables",
+    "variables_of",
+]

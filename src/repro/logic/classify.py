@@ -1,0 +1,451 @@
+"""Syntactic classification of KFOPCE formulas.
+
+This module implements, verbatim, the syntactic classes the paper's theorems
+are stated over:
+
+* first-order / modal formulas (Section 2),
+* **subjective** formulas (Definition 5.2) — formulas that say nothing about
+  the external world, only about the database's epistemic state,
+* **safe** formulas (Definition 5.1) — the KFOPCE generalisation of Prolog's
+  safe-for-negation requirement,
+* **admissible** formulas (Definition 5.3) — the class for which ``demo`` is
+  sound (Theorem 5.1),
+* K1 formulas (no iterated modalities, Section 5.3),
+* **normal queries** (Section 5.2) — conjunctions of literals, ``K``-literals
+  and negated ``K``-literals,
+* **positive existential** formulas, **rules** and **elementary theories**
+  (Definition 6.3),
+* formulas with **disjunctively linked variables** (Definition 6.4).
+
+Each predicate also has an ``explain_*`` counterpart used in error messages
+and in the classification experiment (E4).
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    bound_variables,
+    free_variables,
+    subformulas,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Parameter, Variable
+
+#: Parameter used as the representative witness when safety requires checking
+#: "σ₂|x̄/p̄ is safe for all parameters p̄"; safety is invariant under the
+#: choice of parameter, so a single representative suffices.
+_SAFETY_WITNESS = Parameter("_safety_witness")
+
+
+def is_first_order(formula):
+    """Return True when *formula* is a FOPCE formula (no ``K`` operator)."""
+    return not any(isinstance(sub, Know) for sub in subformulas(formula))
+
+
+def is_modal(formula):
+    """Return True when *formula* mentions ``K`` at least once."""
+    return not is_first_order(formula)
+
+
+def is_k1(formula):
+    """Return True when *formula* has no iterated modalities (no ``K`` in the
+    scope of another ``K``), the K1 formulas of Section 5.3."""
+    return _max_modal_nesting(formula, inside=False)
+
+
+def _max_modal_nesting(formula, inside):
+    if isinstance(formula, Know):
+        if inside:
+            return False
+        return _max_modal_nesting(formula.body, inside=True)
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return True
+    if isinstance(formula, (Not, Forall, Exists)):
+        return _max_modal_nesting(formula.body, inside)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return _max_modal_nesting(formula.left, inside) and _max_modal_nesting(
+            formula.right, inside
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Subjective formulas — Definition 5.2
+# ---------------------------------------------------------------------------
+
+def is_subjective(formula):
+    """Definition 5.2: the subjective formulas are the smallest set such that
+
+    1. ``t1 = t2`` is subjective,
+    2. ``K f`` is subjective whenever *f* is first order,
+    3. if π is subjective, so are ``K π``, ``(exists x) π`` and ``~ π``,
+    4. if π1 and π2 are subjective, so is ``π1 & π2``.
+
+    Subjective formulas say nothing about the external world; they address
+    only the epistemic state of the database.  By Lemma 5.2 every subjective
+    *sentence* is decided (yes or no) by any FOPCE theory.
+
+    We additionally close the class under ``|``, ``->``, ``<->`` and
+    ``forall`` of subjective parts.  The paper's inductive definition omits
+    these connectives, but its later usage assumes them — Remark 7.1 calls
+    ``𝒦(w)`` subjective for an *arbitrary* first-order w, which may contain
+    disjunction and universal quantification.  The extension is semantically
+    harmless: the truth of any combination of world-independent formulas is
+    world-independent, so Lemma 5.2 continues to hold, and the safe/admissible
+    classes are unchanged (they constrain these connectives separately).
+    """
+    if isinstance(formula, Equals):
+        return True
+    if isinstance(formula, (Top, Bottom)):
+        # Truth constants carry no information about the world; admitting
+        # them keeps the class closed under the simplifier.
+        return True
+    if isinstance(formula, Know):
+        return is_first_order(formula.body) or is_subjective(formula.body)
+    if isinstance(formula, (Not, Exists, Forall)):
+        return is_subjective(formula.body)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return is_subjective(formula.left) and is_subjective(formula.right)
+    return False
+
+
+def explain_not_subjective(formula):
+    """Return a human-readable reason why *formula* is not subjective, or
+    ``None`` when it is."""
+    if is_subjective(formula):
+        return None
+    if isinstance(formula, Atom):
+        return f"the atom {formula} addresses the external world (not inside K)"
+    if isinstance(formula, (Not, Exists, Forall, Know)):
+        return explain_not_subjective(formula.body)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return explain_not_subjective(formula.left) or explain_not_subjective(formula.right)
+    return f"{formula} is not subjective"
+
+
+# ---------------------------------------------------------------------------
+# Safe formulas — Definition 5.1
+# ---------------------------------------------------------------------------
+
+def is_safe(formula):
+    """Definition 5.1: the safe KFOPCE formulas are the smallest set such that
+
+    1. any first-order formula is safe,
+    2. if σ is safe, so are ``K σ`` and ``(exists v) σ``; ``~ σ`` is safe
+       whenever σ is a *sentence*,
+    3. ``σ1 & σ2`` is safe whenever σ1 is safe with free variables x̄ and
+       ``σ2|x̄/p̄`` is safe for all parameters p̄.
+
+    Safety is the KFOPCE version of Prolog's safe-for-negation requirement:
+    negation-as-failure is never applied to a subgoal with unbound variables.
+    """
+    if is_first_order(formula):
+        return True
+    if isinstance(formula, (Know, Exists)):
+        return is_safe(formula.body)
+    if isinstance(formula, Not):
+        return not free_variables(formula.body) and is_safe(formula.body)
+    if isinstance(formula, And):
+        if not is_safe(formula.left):
+            return False
+        witnessed = Substitution(
+            {v: _SAFETY_WITNESS for v in free_variables(formula.left)}
+        ).apply(formula.right)
+        return is_safe(witnessed)
+    # Or / Implies / Iff / Forall with a modal part are not generated by the
+    # inductive definition and are therefore unsafe.
+    return False
+
+
+def explain_not_safe(formula):
+    """Return a human-readable reason why *formula* is not safe, or ``None``
+    when it is."""
+    if is_safe(formula):
+        return None
+    if isinstance(formula, Not) and free_variables(formula.body):
+        loose = ", ".join(sorted(v.name for v in free_variables(formula.body)))
+        return (
+            f"negation is applied to a formula with free variables ({loose}); "
+            "negation-as-failure requires a sentence"
+        )
+    if isinstance(formula, (Know, Exists, Not)):
+        return explain_not_safe(formula.body)
+    if isinstance(formula, And):
+        if not is_safe(formula.left):
+            return explain_not_safe(formula.left)
+        witnessed = Substitution(
+            {v: _SAFETY_WITNESS for v in free_variables(formula.left)}
+        ).apply(formula.right)
+        return explain_not_safe(witnessed)
+    if isinstance(formula, (Or, Implies, Iff, Forall)):
+        return (
+            f"a modal {type(formula).__name__} is outside the safe fragment; "
+            "rewrite with to_admissible_form first"
+        )
+    return f"{formula} is not safe"
+
+
+# ---------------------------------------------------------------------------
+# Admissible formulas — Definition 5.3
+# ---------------------------------------------------------------------------
+
+def has_distinct_quantified_variables(formula):
+    """Condition (2) of Definition 5.3: quantified variables are pairwise
+    distinct and distinct from the formula's free variables."""
+    seen = set(free_variables(formula))
+    for sub in subformulas(formula):
+        if isinstance(sub, (Forall, Exists)):
+            if sub.variable in seen:
+                return False
+            seen.add(sub.variable)
+    return True
+
+
+def is_admissible(formula):
+    """Definition 5.3: a KFOPCE formula is admissible iff
+
+    1. it is safe,
+    2. its quantified variables are distinct from one another and from its
+       free variables,
+    3. the scope of every existential quantifier is subjective or first
+       order,
+    4. the scope of every negation sign is subjective or first order.
+
+    ``demo`` is sound for admissible formulas (Theorem 5.1).
+    """
+    if not is_safe(formula):
+        return False
+    if not has_distinct_quantified_variables(formula):
+        return False
+    for sub in subformulas(formula):
+        if isinstance(sub, Exists):
+            if not (is_subjective(sub.body) or is_first_order(sub.body)):
+                return False
+        if isinstance(sub, Not):
+            if not (is_subjective(sub.body) or is_first_order(sub.body)):
+                return False
+    return True
+
+
+def explain_not_admissible(formula):
+    """Return a human-readable reason why *formula* is not admissible, or
+    ``None`` when it is."""
+    if is_admissible(formula):
+        return None
+    if not is_safe(formula):
+        return f"not safe: {explain_not_safe(formula)}"
+    if not has_distinct_quantified_variables(formula):
+        return "quantified variables are not distinct from one another and the free variables"
+    for sub in subformulas(formula):
+        if isinstance(sub, Exists) and not (
+            is_subjective(sub.body) or is_first_order(sub.body)
+        ):
+            return (
+                f"the scope of the existential quantifier over {sub.variable.name} "
+                "is neither subjective nor first order"
+            )
+        if isinstance(sub, Not) and not (
+            is_subjective(sub.body) or is_first_order(sub.body)
+        ):
+            return "the scope of a negation sign is neither subjective nor first order"
+    return f"{formula} is not admissible"
+
+
+# ---------------------------------------------------------------------------
+# Normal queries — Section 5.2
+# ---------------------------------------------------------------------------
+
+def _is_fo_literal(formula):
+    if isinstance(formula, Atom) or isinstance(formula, Equals):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.body, (Atom, Equals))
+    return False
+
+
+def is_normal_query(formula):
+    """Section 5.2: a normal query is a conjunction ``L1 & ... & Ln`` where
+    each Li is a first-order literal, ``K l`` or ``~K l`` for a first-order
+    literal *l*.
+
+    A normal query is admissible iff it is safe, so ``demo`` soundly evaluates
+    every safe normal query.
+    """
+    if isinstance(formula, And):
+        return is_normal_query(formula.left) and is_normal_query(formula.right)
+    if _is_fo_literal(formula):
+        return True
+    if isinstance(formula, Know):
+        return _is_fo_literal(formula.body)
+    if isinstance(formula, Not) and isinstance(formula.body, Know):
+        return _is_fo_literal(formula.body.body)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Positive existential formulas, rules, elementary theories — Definition 6.3
+# ---------------------------------------------------------------------------
+
+def is_positive_existential(formula):
+    """Definition 6.3: positive existential (p.e.) FOPCE formulas are built
+    from non-equality atoms with ``&``, ``|`` and ``exists``."""
+    if isinstance(formula, Atom):
+        return True
+    if isinstance(formula, Exists):
+        return is_positive_existential(formula.body)
+    if isinstance(formula, (And, Or)):
+        return is_positive_existential(formula.left) and is_positive_existential(formula.right)
+    return False
+
+
+def _conjunction_of_atoms(formula):
+    """Return the list of atoms when *formula* is a conjunction of
+    non-equality atoms, else ``None``."""
+    if isinstance(formula, Atom):
+        return [formula]
+    if isinstance(formula, And):
+        left = _conjunction_of_atoms(formula.left)
+        right = _conjunction_of_atoms(formula.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def rule_parts(sentence):
+    """Decompose a rule ``forall x̄. A -> B`` into ``(variables, A, B)``.
+
+    Returns ``None`` when *sentence* is not a rule in the sense of
+    Definition 6.3: A must be a conjunction of non-equality atoms, B must be
+    positive existential, and every universally quantified variable must occur
+    free in A (range restriction).
+    """
+    variables = []
+    body = sentence
+    while isinstance(body, Forall):
+        variables.append(body.variable)
+        body = body.body
+    if not isinstance(body, Implies):
+        return None
+    antecedent, consequent = body.left, body.right
+    atoms = _conjunction_of_atoms(antecedent)
+    if atoms is None:
+        return None
+    if not is_positive_existential(consequent):
+        return None
+    antecedent_variables = free_variables(antecedent)
+    if any(v not in antecedent_variables for v in variables):
+        return None
+    return tuple(variables), antecedent, consequent
+
+
+def is_rule(sentence):
+    """Return True when *sentence* is a rule in the sense of Definition 6.3."""
+    return rule_parts(sentence) is not None
+
+
+def is_elementary_theory(sentences):
+    """Definition 6.3: a first-order theory is elementary iff it is a set of
+    positive-existential sentences and rules.  Elementary theories make no
+    mention of equality."""
+    for sentence in sentences:
+        if not is_first_order(sentence):
+            return False
+        if any(isinstance(sub, Equals) for sub in subformulas(sentence)):
+            return False
+        if free_variables(sentence):
+            return False
+        if is_positive_existential(sentence):
+            continue
+        if is_rule(sentence):
+            continue
+        return False
+    return True
+
+
+def explain_not_elementary(sentences):
+    """Return a reason why *sentences* is not an elementary theory, or
+    ``None`` when it is."""
+    for sentence in sentences:
+        if not is_first_order(sentence):
+            return f"{sentence} mentions the K operator"
+        if any(isinstance(sub, Equals) for sub in subformulas(sentence)):
+            return f"{sentence} mentions equality"
+        if free_variables(sentence):
+            return f"{sentence} has free variables"
+        if not (is_positive_existential(sentence) or is_rule(sentence)):
+            return f"{sentence} is neither a positive-existential sentence nor a rule"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Disjunctively linked variables — Definition 6.4
+# ---------------------------------------------------------------------------
+
+def has_disjunctively_linked_variables(formula):
+    """Definition 6.4: *formula* (with free variables x̄) has disjunctively
+    linked variables iff for each subformula ``w1 | w2`` the free variables of
+    w1 that are among x̄ coincide with those of w2 that are among x̄.
+
+    Together with elementarity of the theory this guarantees finitely many
+    instances (Lemma 6.3), which drives the completeness theorem 6.2.
+    """
+    top_level_free = free_variables(formula)
+    for sub in subformulas(formula):
+        if isinstance(sub, Or):
+            left = free_variables(sub.left) & top_level_free
+            right = free_variables(sub.right) & top_level_free
+            if left != right:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Ground / literal helpers used across the package
+# ---------------------------------------------------------------------------
+
+def is_literal(formula):
+    """Return True for an atom, an equality, or a negation of either."""
+    return _is_fo_literal(formula)
+
+
+def literal_atom(formula):
+    """Return the atom (or equality) under an optional negation."""
+    if isinstance(formula, Not):
+        return formula.body
+    return formula
+
+
+def literal_sign(formula):
+    """Return True for a positive literal, False for a negated one."""
+    return not isinstance(formula, Not)
+
+
+def classify(formula):
+    """Return a dictionary summarising every classification of *formula*.
+
+    Used by the E4 experiment to print the classification table for the
+    paper's Examples 5.1–5.5.
+    """
+    return {
+        "first_order": is_first_order(formula),
+        "modal": is_modal(formula),
+        "subjective": is_subjective(formula),
+        "safe": is_safe(formula),
+        "admissible": is_admissible(formula),
+        "k1": is_k1(formula),
+        "normal_query": is_normal_query(formula),
+        "positive_existential": is_first_order(formula) and is_positive_existential(formula),
+        "disjunctively_linked": has_disjunctively_linked_variables(formula),
+        "sentence": not free_variables(formula),
+    }

@@ -1,0 +1,303 @@
+"""A recursive-descent parser for KFOPCE formulas.
+
+Grammar (ASCII surface syntax, lowest to highest precedence)::
+
+    formula     := iff
+    iff         := implies ( '<->' iff )?              (right associative)
+    implies     := or ( '->' implies )?                (right associative)
+    or          := and ( '|' and )*
+    and         := unary ( '&' unary )*
+    unary       := '~' unary
+                 | 'K' unary
+                 | ('forall' | 'exists') name+ '.' formula   (scope extends right)
+                 | primary
+    primary     := '(' formula ')'
+                 | 'true' | 'false'
+                 | term '=' term | term '!=' term
+                 | name '(' term (',' term)* ')'
+                 | name                                 (propositional atom)
+    term        := name | '?' name
+
+Identifier occurrences inside a quantifier's scope that match the quantified
+name are variables; every other identifier term is a parameter unless written
+with a leading ``?``.  This mirrors the paper's convention that parameters are
+the constants and quantified symbols are the variables.
+
+``parse_many`` splits its input on newlines and semicolons (``#`` starts a
+comment) and is the convenient way to write a whole database as a string.
+"""
+
+import re
+
+from repro.exceptions import ParseError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import Parameter, Variable
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<neq>!=|/=)
+  | (?P<and>&|/\\)
+  | (?P<or>\||\\/)
+  | (?P<not>~|!)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<eq>=)
+  | (?P<qmark>\?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_#]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS_FORALL = {"forall", "all"}
+_KEYWORDS_EXISTS = {"exists", "some"}
+_KEYWORDS_TRUE = {"true"}
+_KEYWORDS_FALSE = {"false"}
+_KEYWORD_KNOW = {"K", "know", "knows"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return f"_Token({self.kind}, {self.value!r}, {self.position})"
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if not match:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at position {position}",
+                text=text,
+                position=position,
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.bound = []  # stack of variable names currently in scope
+
+    # -- token helpers -------------------------------------------------
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind):
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.value!r} at position {token.position}",
+                text=self.text,
+                position=token.position,
+            )
+        return self.advance()
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------
+    def parse_formula(self):
+        formula = self.parse_iff()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {token.value!r} at position {token.position}",
+                text=self.text,
+                position=token.position,
+            )
+        return formula
+
+    def parse_iff(self):
+        left = self.parse_implies()
+        if self.accept("iff"):
+            right = self.parse_iff()
+            return Iff(left, right)
+        return left
+
+    def parse_implies(self):
+        left = self.parse_or()
+        if self.accept("implies"):
+            right = self.parse_implies()
+            return Implies(left, right)
+        return left
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept("or"):
+            right = self.parse_and()
+            left = Or(left, right)
+        return left
+
+    def parse_and(self):
+        left = self.parse_unary()
+        while self.accept("and"):
+            right = self.parse_unary()
+            left = And(left, right)
+        return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "not":
+            self.advance()
+            return Not(self.parse_unary())
+        if token.kind == "name" and token.value in _KEYWORD_KNOW:
+            self.advance()
+            return Know(self.parse_unary())
+        if token.kind == "name" and token.value in (_KEYWORDS_FORALL | _KEYWORDS_EXISTS):
+            return self.parse_quantified(token.value)
+        return self.parse_primary()
+
+    def parse_quantified(self, keyword):
+        self.advance()
+        names = []
+        while self.peek().kind == "name" and self.peek().value not in (
+            _KEYWORDS_FORALL | _KEYWORDS_EXISTS | _KEYWORD_KNOW
+        ):
+            names.append(self.advance().value)
+            if self.peek().kind == "comma":
+                self.advance()
+        if not names:
+            token = self.peek()
+            raise ParseError(
+                f"quantifier {keyword!r} expects at least one variable name "
+                f"at position {token.position}",
+                text=self.text,
+                position=token.position,
+            )
+        self.expect("dot")
+        self.bound.extend(names)
+        # The quantifier's scope extends as far to the right as possible, the
+        # standard convention and the one the printer assumes.
+        body = self.parse_iff()
+        for _ in names:
+            self.bound.pop()
+        constructor = Forall if keyword in _KEYWORDS_FORALL else Exists
+        result = body
+        for name in reversed(names):
+            result = constructor(Variable(name), result)
+        return result
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "lparen":
+            self.advance()
+            formula = self.parse_iff()
+            self.expect("rparen")
+            return formula
+        if token.kind == "qmark" or token.kind == "name":
+            # Could be: true/false, an atom, or the left side of an equality.
+            if token.kind == "name" and token.value in _KEYWORDS_TRUE:
+                self.advance()
+                return Top()
+            if token.kind == "name" and token.value in _KEYWORDS_FALSE:
+                self.advance()
+                return Bottom()
+            return self.parse_atom_or_equality()
+        raise ParseError(
+            f"unexpected token {token.value!r} at position {token.position}",
+            text=self.text,
+            position=token.position,
+        )
+
+    def parse_term(self):
+        if self.accept("qmark"):
+            name = self.expect("name").value
+            return Variable(name)
+        token = self.expect("name")
+        if token.value in self.bound:
+            return Variable(token.value)
+        return Parameter(token.value)
+
+    def parse_atom_or_equality(self):
+        start = self.index
+        first_term_token = self.peek()
+        # Predicate application?
+        if first_term_token.kind == "name":
+            name_token = self.advance()
+            if self.peek().kind == "lparen":
+                self.advance()
+                args = [self.parse_term()]
+                while self.accept("comma"):
+                    args.append(self.parse_term())
+                self.expect("rparen")
+                return Atom(name_token.value, tuple(args))
+            # Not an application: rewind and parse as a term.
+            self.index = start
+        left = self.parse_term()
+        if self.accept("eq"):
+            right = self.parse_term()
+            return Equals(left, right)
+        if self.accept("neq"):
+            right = self.parse_term()
+            return Not(Equals(left, right))
+        if isinstance(left, Parameter):
+            # A bare name is accepted as a propositional (0-ary) atom, which
+            # the paper uses in examples such as Σ = {p ∨ q}.
+            return Atom(left.name, ())
+        token = self.peek()
+        raise ParseError(
+            f"expected '=' or '!=' after term at position {token.position}",
+            text=self.text,
+            position=token.position,
+        )
+
+
+def parse(text):
+    """Parse *text* into a single formula."""
+    if isinstance(text, str):
+        return _Parser(text).parse_formula()
+    raise TypeError(f"parse expects a string, got {text!r}")
+
+
+def parse_many(text):
+    """Parse a newline/semicolon-separated block of formulas.
+
+    Blank lines and ``#`` comments are ignored.  Returns a list of formulas in
+    source order.
+    """
+    formulas = []
+    for chunk in re.split(r"[;\n]", text):
+        stripped = chunk.split("#", 1)[0].strip()
+        if stripped:
+            formulas.append(parse(stripped))
+    return formulas

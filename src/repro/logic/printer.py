@@ -1,0 +1,159 @@
+"""Rendering formulas back to text.
+
+Two renderers are provided:
+
+* :func:`to_text` — ASCII, re-parseable by :mod:`repro.logic.parser`
+  (``forall x. (emp(x) -> exists y. ss(x, y))``).
+* :func:`to_unicode` — a display form close to the paper's notation
+  (``∀x.(emp(x) ⊃ ∃y.ss(x, y))``).
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+
+#: Binding strength of each connective; larger binds tighter.
+_PRECEDENCE = {
+    Iff: 1,
+    Implies: 2,
+    Or: 3,
+    And: 4,
+    Not: 5,
+    Know: 5,
+    Forall: 0,
+    Exists: 0,
+}
+
+_ASCII = {
+    "not": "~",
+    "and": "&",
+    "or": "|",
+    "implies": "->",
+    "iff": "<->",
+    "know": "K ",
+    "forall": "forall",
+    "exists": "exists",
+    "top": "true",
+    "bottom": "false",
+    "neq": "!=",
+}
+
+_UNICODE = {
+    "not": "¬",
+    "and": " ∧ ",
+    "or": " ∨ ",
+    "implies": " ⊃ ",
+    "iff": " ≡ ",
+    "know": "K ",
+    "forall": "∀",
+    "exists": "∃",
+    "top": "⊤",
+    "bottom": "⊥",
+    "neq": "≠",
+}
+
+
+def to_text(formula):
+    """Render *formula* as re-parseable ASCII text."""
+    return _render(formula, _ASCII, ascii_style=True)
+
+
+def to_unicode(formula):
+    """Render *formula* using logical symbols, close to the paper's
+    notation."""
+    return _render(formula, _UNICODE, ascii_style=False)
+
+
+def _render(formula, symbols, ascii_style, parent_precedence=0):
+    text, precedence = _render_node(formula, symbols, ascii_style)
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _term_text(term, ascii_style):
+    """Render a term; in ASCII mode variables carry the ``?`` prefix so that
+    the output re-parses to the same formula."""
+    from repro.logic.terms import Variable
+
+    if ascii_style and isinstance(term, Variable):
+        return f"?{term.name}"
+    return str(term)
+
+
+def _render_node(formula, symbols, ascii_style):
+    if isinstance(formula, Atom):
+        if not formula.args:
+            return formula.predicate, 6
+        rendered = ", ".join(_term_text(a, ascii_style) for a in formula.args)
+        return f"{formula.predicate}({rendered})", 6
+    if isinstance(formula, Equals):
+        left = _term_text(formula.left, ascii_style)
+        right = _term_text(formula.right, ascii_style)
+        return f"{left} = {right}", 6
+    if isinstance(formula, Top):
+        return symbols["top"], 6
+    if isinstance(formula, Bottom):
+        return symbols["bottom"], 6
+    if isinstance(formula, Not):
+        if isinstance(formula.body, Equals) and not ascii_style:
+            body = formula.body
+            left = _term_text(body.left, ascii_style)
+            right = _term_text(body.right, ascii_style)
+            return f"{left} {symbols['neq']} {right}", 6
+        inner = _render(formula.body, symbols, ascii_style, _PRECEDENCE[Not] + 1)
+        return f"{symbols['not']}{inner}", _PRECEDENCE[Not]
+    if isinstance(formula, Know):
+        inner = _render(formula.body, symbols, ascii_style, _PRECEDENCE[Know] + 1)
+        return f"{symbols['know']}{inner}", _PRECEDENCE[Know]
+    if isinstance(formula, And):
+        # The parser left-associates '&', so a right-nested conjunct needs
+        # explicit parentheses for the round trip to preserve structure.
+        sep = f" {symbols['and']} " if ascii_style else symbols["and"]
+        left = _render(formula.left, symbols, ascii_style, _PRECEDENCE[And])
+        right = _render(formula.right, symbols, ascii_style, _PRECEDENCE[And] + 1)
+        return f"{left}{sep}{right}", _PRECEDENCE[And]
+    if isinstance(formula, Or):
+        sep = f" {symbols['or']} " if ascii_style else symbols["or"]
+        left = _render(formula.left, symbols, ascii_style, _PRECEDENCE[Or])
+        right = _render(formula.right, symbols, ascii_style, _PRECEDENCE[Or] + 1)
+        return f"{left}{sep}{right}", _PRECEDENCE[Or]
+    if isinstance(formula, Implies):
+        sep = f" {symbols['implies']} " if ascii_style else symbols["implies"]
+        left = _render(formula.left, symbols, ascii_style, _PRECEDENCE[Implies] + 1)
+        right = _render(formula.right, symbols, ascii_style, _PRECEDENCE[Implies])
+        return f"{left}{sep}{right}", _PRECEDENCE[Implies]
+    if isinstance(formula, Iff):
+        sep = f" {symbols['iff']} " if ascii_style else symbols["iff"]
+        left = _render(formula.left, symbols, ascii_style, _PRECEDENCE[Iff] + 1)
+        right = _render(formula.right, symbols, ascii_style, _PRECEDENCE[Iff])
+        return f"{left}{sep}{right}", _PRECEDENCE[Iff]
+    if isinstance(formula, (Forall, Exists)):
+        keyword = symbols["forall"] if isinstance(formula, Forall) else symbols["exists"]
+        # Collect a run of same-kind quantifiers for compact printing.
+        names = [formula.variable.name]
+        body = formula.body
+        while isinstance(body, type(formula)):
+            names.append(body.variable.name)
+            body = body.body
+        inner = _render(body, symbols, ascii_style, 1)
+        if ascii_style:
+            return f"{keyword} {' '.join(names)}. {inner}", _PRECEDENCE[Forall]
+        return f"{keyword}{','.join(names)}.{inner}", _PRECEDENCE[Forall]
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def theory_to_text(sentences):
+    """Render an iterable of sentences one per line."""
+    return "\n".join(to_text(sentence) for sentence in sentences)

@@ -1,0 +1,91 @@
+"""Signatures and the active parameter universe.
+
+A :class:`Signature` records the predicate symbols (with arities) and the
+parameters mentioned by a theory and/or query.  The finite-universe reduction
+used throughout the package (see DESIGN.md) evaluates quantifiers over the
+*active universe*: the mentioned parameters plus a configurable number of
+fresh "unknown individual" witnesses.  Fresh witnesses are what lets the
+semantics distinguish ``K (exists x) Teach(x, CS)`` ("someone is known to
+teach CS") from ``(exists x) K Teach(x, CS)`` ("a known individual teaches
+CS") — the central distinction of the paper's Section 1 examples.
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.logic.syntax import parameters_of, predicates_of
+from repro.logic.terms import Parameter, fresh_parameters
+
+#: Default number of fresh witness parameters added to the active universe.
+DEFAULT_EXTRA_PARAMETERS = 2
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The predicates and parameters of a theory/query pair."""
+
+    predicates: FrozenSet[Tuple[str, int]] = field(default_factory=frozenset)
+    parameters: FrozenSet[Parameter] = field(default_factory=frozenset)
+
+    def merge(self, other):
+        """Return the union of two signatures."""
+        return Signature(
+            predicates=self.predicates | other.predicates,
+            parameters=self.parameters | other.parameters,
+        )
+
+    def with_parameters(self, parameters):
+        """Return a signature extended with extra parameters."""
+        return Signature(
+            predicates=self.predicates,
+            parameters=self.parameters | frozenset(parameters),
+        )
+
+    def with_predicates(self, predicates):
+        """Return a signature extended with extra ``(name, arity)`` pairs."""
+        return Signature(
+            predicates=self.predicates | frozenset(predicates),
+            parameters=self.parameters,
+        )
+
+    def universe(self, extra_parameters=DEFAULT_EXTRA_PARAMETERS, prefix="_u"):
+        """Return the active universe: mentioned parameters plus
+        *extra_parameters* fresh witnesses, sorted for determinism.
+
+        At least one parameter is always returned (a world needs a non-empty
+        domain for quantifiers to range over), mirroring the convention in the
+        proof of Lemma 6.2.
+        """
+        fresh = fresh_parameters(extra_parameters, avoid=self.parameters, prefix=prefix)
+        members = set(self.parameters) | set(fresh)
+        if not members:
+            members = {Parameter(f"{prefix}0")}
+        return tuple(sorted(members, key=lambda p: p.name))
+
+    def herbrand_base(self, universe=None, extra_parameters=DEFAULT_EXTRA_PARAMETERS):
+        """Return every ground non-equality atom over the universe.
+
+        This is the space of atomic sentences that worlds are drawn from; its
+        size is ``sum over predicates of |universe| ** arity``.
+        """
+        from repro.logic.syntax import Atom
+        from itertools import product
+
+        if universe is None:
+            universe = self.universe(extra_parameters=extra_parameters)
+        atoms = []
+        for name, arity in sorted(self.predicates):
+            for args in product(universe, repeat=arity):
+                atoms.append(Atom(name, args))
+        return tuple(atoms)
+
+
+def signature_of(formulas, extra_formulas=()):
+    """Compute the :class:`Signature` of an iterable of formulas (plus an
+    optional second iterable, typically the query)."""
+    predicates = set()
+    parameters = set()
+    for formula in list(formulas) + list(extra_formulas):
+        predicates |= predicates_of(formula)
+        parameters |= parameters_of(formula)
+    return Signature(predicates=frozenset(predicates), parameters=frozenset(parameters))

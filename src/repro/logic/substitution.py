@@ -1,0 +1,198 @@
+"""Substitutions of terms for variables.
+
+The evaluator and the semantics constantly build formulas of the form
+``w|x̄/p̄`` — *w* with parameters substituted for its free variables — so the
+substitution machinery is kept small, explicit and capture-avoiding.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    free_variables,
+)
+from repro.logic.terms import Parameter, Variable, fresh_variable
+
+
+class Substitution:
+    """An immutable mapping from variables to terms.
+
+    Substitutions compose (``s1.compose(s2)`` applies ``s1`` first) and can be
+    restricted or extended without mutating the original, which keeps the
+    backtracking evaluator free of aliasing bugs.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping=None):
+        normalized = {}
+        for key, value in dict(mapping or {}).items():
+            if not isinstance(key, Variable):
+                raise TypeError(f"substitution keys must be variables, got {key!r}")
+            if not isinstance(value, (Variable, Parameter)):
+                raise TypeError(f"substitution values must be terms, got {value!r}")
+            if key != value:
+                normalized[key] = value
+        self._mapping = normalized
+
+    @classmethod
+    def empty(cls):
+        """Return the identity substitution."""
+        return cls({})
+
+    def items(self):
+        return self._mapping.items()
+
+    def keys(self):
+        return self._mapping.keys()
+
+    def values(self):
+        return self._mapping.values()
+
+    def get(self, variable, default=None):
+        return self._mapping.get(variable, default)
+
+    def __contains__(self, variable):
+        return variable in self._mapping
+
+    def __getitem__(self, variable):
+        return self._mapping[variable]
+
+    def __len__(self):
+        return len(self._mapping)
+
+    def __bool__(self):
+        return bool(self._mapping)
+
+    def __eq__(self, other):
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self):
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self):
+        parts = ", ".join(f"{k.name}→{v.name}" for k, v in sorted(self._mapping.items()))
+        return f"Substitution({{{parts}}})"
+
+    def bind(self, variable, term):
+        """Return a new substitution extending this one with
+        ``variable → term``."""
+        updated = dict(self._mapping)
+        updated[variable] = term
+        return Substitution(updated)
+
+    def restrict(self, variables):
+        """Return a new substitution defined only on *variables*."""
+        wanted = set(variables)
+        return Substitution({k: v for k, v in self._mapping.items() if k in wanted})
+
+    def without(self, variables):
+        """Return a new substitution with *variables* removed from the
+        domain."""
+        dropped = set(variables)
+        return Substitution({k: v for k, v in self._mapping.items() if k not in dropped})
+
+    def compose(self, other):
+        """Return the substitution equivalent to applying ``self`` then
+        ``other``."""
+        combined = {k: other.apply_term(v) for k, v in self._mapping.items()}
+        for key, value in other.items():
+            combined.setdefault(key, value)
+        return Substitution(combined)
+
+    def apply_term(self, term):
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        return term
+
+    def apply(self, formula):
+        """Apply the substitution to *formula*, renaming bound variables when
+        necessary to avoid capture."""
+        return _apply(formula, self._mapping)
+
+    def is_ground(self):
+        """Return True when every value in the range is a parameter."""
+        return all(isinstance(v, Parameter) for v in self._mapping.values())
+
+    def as_tuple(self, variables):
+        """Return the bound terms for *variables* in order.
+
+        Raises :class:`KeyError` if a variable is unbound; this is how the
+        evaluator asserts Lemma 5.4 (success binds every free variable).
+        """
+        return tuple(self._mapping[v] for v in variables)
+
+
+def _apply(formula, mapping):
+    if not mapping:
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(mapping.get(a, a) for a in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(mapping.get(formula.left, formula.left), mapping.get(formula.right, formula.right))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_apply(formula.body, mapping))
+    if isinstance(formula, Know):
+        return Know(_apply(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(_apply(formula.left, mapping), _apply(formula.right, mapping))
+    if isinstance(formula, Or):
+        return Or(_apply(formula.left, mapping), _apply(formula.right, mapping))
+    if isinstance(formula, Implies):
+        return Implies(_apply(formula.left, mapping), _apply(formula.right, mapping))
+    if isinstance(formula, Iff):
+        return Iff(_apply(formula.left, mapping), _apply(formula.right, mapping))
+    if isinstance(formula, (Forall, Exists)):
+        bound = formula.variable
+        inner = {k: v for k, v in mapping.items() if k != bound}
+        if not inner:
+            return formula
+        # Rename the bound variable if some substituted value would be captured.
+        range_variables = {v for v in inner.values() if isinstance(v, Variable)}
+        if bound in range_variables:
+            replacement = fresh_variable(
+                avoid=set(range_variables) | set(inner) | {bound}
+            )
+            renamed_body = _apply(formula.body, {bound: replacement})
+            new_body = _apply(renamed_body, inner)
+            return type(formula)(replacement, new_body)
+        return type(formula)(bound, _apply(formula.body, inner))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def substitute(formula, mapping):
+    """Apply *mapping* (a dict or :class:`Substitution`) to *formula*."""
+    if isinstance(mapping, Substitution):
+        return mapping.apply(formula)
+    return Substitution(mapping).apply(formula)
+
+
+def bind_free_variables(formula, parameters):
+    """Substitute *parameters* for the free variables of *formula*.
+
+    The free variables are taken in sorted-name order so the binding is
+    deterministic; the number of parameters must match.  Returns the
+    instantiated formula together with the substitution used.
+    """
+    free = sorted(free_variables(formula), key=lambda v: v.name)
+    values = tuple(parameters)
+    if len(free) != len(values):
+        raise ValueError(
+            f"formula has {len(free)} free variables but {len(values)} parameters were given"
+        )
+    substitution = Substitution(dict(zip(free, values)))
+    return substitution.apply(formula), substitution

@@ -1,0 +1,417 @@
+"""Formula abstract syntax for FOPCE and KFOPCE.
+
+Connectives
+-----------
+
+==============  ==========================  ==========
+Class           Reading                     Language
+==============  ==========================  ==========
+``Atom``        ``P(t1, ..., tn)``          FOPCE
+``Equals``      ``t1 = t2``                 FOPCE
+``Top``         truth                       FOPCE
+``Bottom``      falsity                     FOPCE
+``Not``         ``~ w``                     FOPCE
+``And``         ``w1 & w2``                 FOPCE
+``Or``          ``w1 | w2``                 FOPCE
+``Implies``     ``w1 -> w2``                FOPCE
+``Iff``         ``w1 <-> w2``               FOPCE
+``Forall``      ``forall x. w``             FOPCE
+``Exists``      ``exists x. w``             FOPCE
+``Know``        ``K w``                     KFOPCE
+==============  ==========================  ==========
+
+A formula is *first order* (a FOPCE formula) when it does not mention
+``Know``; otherwise it is *modal*.  All formula objects are immutable and
+hashable, so they can be used as dictionary keys and set members throughout
+the semantics, the prover and the evaluator.
+
+Operator sugar: ``a & b``, ``a | b``, ``~a``, ``a >> b`` (implication) and
+``a.iff(b)`` build compound formulas, which keeps example code close to the
+paper's notation.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.logic.terms import Parameter, Term, Variable
+
+
+class Formula:
+    """Base class of all FOPCE/KFOPCE formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return And(self, _check_formula(other))
+
+    def __or__(self, other):
+        return Or(self, _check_formula(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __rshift__(self, other):
+        return Implies(self, _check_formula(other))
+
+    def iff(self, other):
+        """Return the biconditional ``self <-> other``."""
+        return Iff(self, _check_formula(other))
+
+    def known(self):
+        """Return ``K self`` (what the database knows about this formula)."""
+        return Know(self)
+
+    def __str__(self):
+        # Imported lazily to avoid a circular import at module load time.
+        from repro.logic.printer import to_text
+
+        return to_text(self)
+
+
+def _check_formula(value):
+    if not isinstance(value, Formula):
+        raise TypeError(f"expected a Formula, got {value!r}")
+    return value
+
+
+def _check_term(value):
+    if not isinstance(value, (Variable, Parameter)):
+        raise TypeError(f"expected a Term (Variable or Parameter), got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, repr=False)
+class Atom(Formula):
+    """An atomic formula ``predicate(args...)``.
+
+    The equality predicate is *not* represented as an ``Atom``; use
+    :class:`Equals`, which the semantics treats specially (parameters are
+    pairwise distinct).
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, predicate, args=()):
+        if not predicate or not isinstance(predicate, str):
+            raise ValueError("predicate name must be a non-empty string")
+        if predicate == "=":
+            raise ValueError("use Equals for the equality predicate")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(_check_term(a) for a in args))
+
+    @property
+    def arity(self):
+        return len(self.args)
+
+    def __repr__(self):
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"Atom({self.predicate!r}, ({rendered}))"
+
+
+@dataclass(frozen=True, repr=False)
+class Equals(Formula):
+    """The equality atom ``left = right``."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _check_term(left))
+        object.__setattr__(self, "right", _check_term(right))
+
+    def __repr__(self):
+        return f"Equals({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Top(Formula):
+    """The always-true formula.  Not part of the paper's language but handy
+    for simplification and for Clark completion of predicates with no
+    defining clauses."""
+
+    def __repr__(self):
+        return "Top()"
+
+
+@dataclass(frozen=True, repr=False)
+class Bottom(Formula):
+    """The always-false formula (dual of :class:`Top`)."""
+
+    def __repr__(self):
+        return "Bottom()"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Formula):
+    """Negation ``~ body``."""
+
+    body: Formula
+
+    def __init__(self, body):
+        object.__setattr__(self, "body", _check_formula(body))
+
+    def __repr__(self):
+        return f"Not({self.body!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class And(Formula):
+    """Binary conjunction.  N-ary conjunctions are built with
+    :func:`repro.logic.builders.conj` and are left-associated by default; the
+    evaluator re-associates to the right when it needs Lemma 5.1."""
+
+    left: Formula
+    right: Formula
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _check_formula(left))
+        object.__setattr__(self, "right", _check_formula(right))
+
+    def __repr__(self):
+        return f"And({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Formula):
+    """Binary disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _check_formula(left))
+        object.__setattr__(self, "right", _check_formula(right))
+
+    def __repr__(self):
+        return f"Or({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Implies(Formula):
+    """Material implication ``left -> right``."""
+
+    left: Formula
+    right: Formula
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _check_formula(left))
+        object.__setattr__(self, "right", _check_formula(right))
+
+    def __repr__(self):
+        return f"Implies({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Iff(Formula):
+    """Biconditional ``left <-> right``."""
+
+    left: Formula
+    right: Formula
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", _check_formula(left))
+        object.__setattr__(self, "right", _check_formula(right))
+
+    def __repr__(self):
+        return f"Iff({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Forall(Formula):
+    """Universal quantification ``forall variable. body``."""
+
+    variable: Variable
+    body: Formula
+
+    def __init__(self, variable, body):
+        if not isinstance(variable, Variable):
+            raise TypeError(f"quantified symbol must be a Variable, got {variable!r}")
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "body", _check_formula(body))
+
+    def __repr__(self):
+        return f"Forall({self.variable!r}, {self.body!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Exists(Formula):
+    """Existential quantification ``exists variable. body``."""
+
+    variable: Variable
+    body: Formula
+
+    def __init__(self, variable, body):
+        if not isinstance(variable, Variable):
+            raise TypeError(f"quantified symbol must be a Variable, got {variable!r}")
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "body", _check_formula(body))
+
+    def __repr__(self):
+        return f"Exists({self.variable!r}, {self.body!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Know(Formula):
+    """The epistemic operator ``K body`` — "the database knows *body*"."""
+
+    body: Formula
+
+    def __init__(self, body):
+        object.__setattr__(self, "body", _check_formula(body))
+
+    def __repr__(self):
+        return f"Know({self.body!r})"
+
+
+#: Connectives with exactly two formula children.
+BINARY_CONNECTIVES = (And, Or, Implies, Iff)
+
+#: Connectives with exactly one formula child.
+UNARY_CONNECTIVES = (Not, Know)
+
+#: Quantifier connectives.
+QUANTIFIERS = (Forall, Exists)
+
+
+def children_of(formula):
+    """Return the immediate formula children of *formula* as a tuple."""
+    if isinstance(formula, BINARY_CONNECTIVES):
+        return (formula.left, formula.right)
+    if isinstance(formula, UNARY_CONNECTIVES):
+        return (formula.body,)
+    if isinstance(formula, QUANTIFIERS):
+        return (formula.body,)
+    return ()
+
+
+def subformulas(formula):
+    """Yield every subformula of *formula*, including the formula itself,
+    in pre-order."""
+    stack = [formula]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(children_of(current)))
+
+
+def terms_of(formula):
+    """Yield every term occurrence in *formula* (with repetition)."""
+    for sub in subformulas(formula):
+        if isinstance(sub, Atom):
+            yield from sub.args
+        elif isinstance(sub, Equals):
+            yield sub.left
+            yield sub.right
+
+
+def free_variables(formula):
+    """Return the set of variables occurring free in *formula*."""
+    return _free_variables(formula, frozenset())
+
+
+def _free_variables(formula, bound):
+    if isinstance(formula, Atom):
+        return {t for t in formula.args if isinstance(t, Variable) and t not in bound}
+    if isinstance(formula, Equals):
+        return {
+            t
+            for t in (formula.left, formula.right)
+            if isinstance(t, Variable) and t not in bound
+        }
+    if isinstance(formula, (Top, Bottom)):
+        return set()
+    if isinstance(formula, QUANTIFIERS):
+        return _free_variables(formula.body, bound | {formula.variable})
+    result = set()
+    for child in children_of(formula):
+        result |= _free_variables(child, bound)
+    return result
+
+
+def variables_of(formula):
+    """Return every variable occurring in *formula*, free or bound."""
+    found = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, QUANTIFIERS):
+            found.add(sub.variable)
+    found |= {t for t in terms_of(formula) if isinstance(t, Variable)}
+    return found
+
+
+def bound_variables(formula):
+    """Return the set of variables bound by some quantifier in *formula*."""
+    return {sub.variable for sub in subformulas(formula) if isinstance(sub, QUANTIFIERS)}
+
+
+def parameters_of(formula):
+    """Return the set of parameters mentioned in *formula*."""
+    return {t for t in terms_of(formula) if isinstance(t, Parameter)}
+
+
+def predicates_of(formula):
+    """Return the set of ``(name, arity)`` pairs of non-equality predicates
+    mentioned in *formula*."""
+    return {
+        (sub.predicate, sub.arity)
+        for sub in subformulas(formula)
+        if isinstance(sub, Atom)
+    }
+
+
+def atoms_of(formula):
+    """Return the set of non-equality atoms occurring in *formula*."""
+    return {sub for sub in subformulas(formula) if isinstance(sub, Atom)}
+
+
+def is_sentence(formula):
+    """Return True when *formula* has no free variables."""
+    return not free_variables(formula)
+
+
+def is_ground(formula):
+    """Return True when *formula* mentions no variables at all (free or
+    bound) and no quantifiers — i.e. it is a boolean combination of ground
+    atoms and equalities."""
+    if any(isinstance(sub, QUANTIFIERS) for sub in subformulas(formula)):
+        return False
+    return not any(isinstance(t, Variable) for t in terms_of(formula))
+
+
+def quantifier_scopes(formula):
+    """Yield ``(quantifier_class, variable, body)`` for every quantifier
+    occurrence in *formula*."""
+    for sub in subformulas(formula):
+        if isinstance(sub, QUANTIFIERS):
+            yield type(sub), sub.variable, sub.body
+
+
+def formula_size(formula):
+    """Return the number of connective/atom nodes in *formula*.
+
+    Used by the optimiser to compare rewritings and by tests as a crude
+    complexity measure.
+    """
+    return sum(1 for _ in subformulas(formula))
+
+
+def formula_depth(formula):
+    """Return the nesting depth of *formula* (atoms have depth 1)."""
+    children = children_of(formula)
+    if not children:
+        return 1
+    return 1 + max(formula_depth(child) for child in children)
+
+
+def modal_depth(formula):
+    """Return the maximum nesting depth of ``K`` operators in *formula*.
+
+    First-order formulas have modal depth 0; formulas without iterated
+    modalities (the K1 formulas of Section 5.3) have modal depth at most 1.
+    """
+    if isinstance(formula, Know):
+        return 1 + modal_depth(formula.body)
+    children = children_of(formula)
+    if not children:
+        return 0
+    return max(modal_depth(child) for child in children)

@@ -1,0 +1,115 @@
+"""Terms of the function-free languages FOPCE and KFOPCE.
+
+The paper's languages provide exactly two kinds of terms:
+
+* :class:`Variable` — quantifiable symbols (``x``, ``y``, ...).
+* :class:`Parameter` — the constants of the language.  Parameters are
+  pairwise distinct (unique names) and jointly make up the single universal
+  domain of discourse (Section 2).
+
+There are no function symbols; Levesque's richer languages with functions are
+explicitly left to future work in the paper (Section 8, item 2), and we follow
+the paper's restriction.
+"""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A variable symbol.
+
+    Variables only acquire meaning through quantification; a formula with free
+    variables is a *query with answers* rather than a sentence.
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("variable name must be a non-empty string")
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Parameter:
+    """A parameter (constant) of the language.
+
+    Parameters are semantically pairwise distinct and the quantifiers range
+    exactly over them; the language builds the effect of unique-names and
+    domain-closure axioms directly into its semantics (Section 2).
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("parameter name must be a non-empty string")
+
+    def __repr__(self):
+        return f"Parameter({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+
+#: A term is either a variable or a parameter.
+Term = Union[Variable, Parameter]
+
+
+def is_ground_term(term):
+    """Return True when *term* contains no variables (i.e. is a parameter)."""
+    return isinstance(term, Parameter)
+
+
+def term_from(value):
+    """Coerce *value* into a :class:`Term`.
+
+    Strings become parameters unless they start with ``?``, in which case the
+    remainder names a variable.  Existing terms pass through unchanged.  This
+    is the coercion used by the convenience builders so that examples can be
+    written with plain strings.
+    """
+    if isinstance(value, (Variable, Parameter)):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?"):
+            return Variable(value[1:])
+        return Parameter(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+def fresh_parameters(count, avoid=(), prefix="_g"):
+    """Return *count* parameters whose names do not clash with *avoid*.
+
+    Used to extend the active universe with "unknown individual" witnesses so
+    that the finite-universe semantics can distinguish ``K (exists x) P(x)``
+    from ``(exists x) K P(x)`` (Section 1's CS-teacher example).
+    """
+    taken = {p.name if isinstance(p, Parameter) else str(p) for p in avoid}
+    result = []
+    index = 1
+    while len(result) < count:
+        name = f"{prefix}{index}"
+        if name not in taken:
+            taken.add(name)
+            result.append(Parameter(name))
+        index += 1
+    return tuple(result)
+
+
+def fresh_variable(avoid=(), prefix="_v"):
+    """Return a variable whose name does not clash with any in *avoid*."""
+    taken = {v.name if isinstance(v, Variable) else str(v) for v in avoid}
+    index = 1
+    while True:
+        name = f"{prefix}{index}"
+        if name not in taken:
+            return Variable(name)
+        index += 1

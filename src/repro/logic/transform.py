@@ -1,0 +1,423 @@
+"""Formula transformations.
+
+The transformations implemented here are the ones the paper relies on:
+
+* :func:`rename_apart` — make quantified variables distinct from one another
+  and from the free variables (condition 2 of admissibility, Definition 5.3).
+* :func:`right_associate` — re-associate conjunctions to the right, as the
+  soundness proof of Theorem 5.1 assumes (Lemma 5.1 shows safety is
+  preserved).
+* :func:`to_admissible_form` — the Lloyd–Topor-style rewriting that turns the
+  universally quantified constraints of Section 3 into the equivalent
+  admissible sentences of Example 5.4.
+* :func:`remove_know` — the K-erasure of Theorem 7.1 (closed-world collapse).
+* :func:`insert_know` — the 𝒦(w) transform of Definition 7.1 (each atom *a*
+  becomes ``K a``).
+* :func:`negation_normal_form`, :func:`eliminate_implications`,
+  :func:`simplify` — standard helpers used by the prover, the completion and
+  the optimiser.
+"""
+
+from repro.exceptions import NotFirstOrderError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    free_variables,
+    variables_of,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable, fresh_variable
+
+
+def eliminate_implications(formula):
+    """Rewrite ``->`` and ``<->`` in terms of ``~``, ``&`` and ``|``."""
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_implications(formula.body))
+    if isinstance(formula, Know):
+        return Know(eliminate_implications(formula.body))
+    if isinstance(formula, And):
+        return And(eliminate_implications(formula.left), eliminate_implications(formula.right))
+    if isinstance(formula, Or):
+        return Or(eliminate_implications(formula.left), eliminate_implications(formula.right))
+    if isinstance(formula, Implies):
+        return Or(Not(eliminate_implications(formula.left)), eliminate_implications(formula.right))
+    if isinstance(formula, Iff):
+        left = eliminate_implications(formula.left)
+        right = eliminate_implications(formula.right)
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(formula, (Forall, Exists)):
+        return type(formula)(formula.variable, eliminate_implications(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def negation_normal_form(formula):
+    """Return an equivalent formula with negation applied only to atoms,
+    equalities and ``K`` subformulas.
+
+    ``K`` has no dual operator in KFOPCE, so negations are *not* pushed
+    through it; ``~K w`` is already in negation normal form (its body is
+    normalised independently).
+    """
+    return _nnf(eliminate_implications(formula), positive=True)
+
+
+def _nnf(formula, positive):
+    if isinstance(formula, (Atom, Equals)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Top):
+        return Top() if positive else Bottom()
+    if isinstance(formula, Bottom):
+        return Bottom() if positive else Top()
+    if isinstance(formula, Know):
+        normalised = Know(_nnf(formula.body, True))
+        return normalised if positive else Not(normalised)
+    if isinstance(formula, Not):
+        return _nnf(formula.body, not positive)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return And(left, right) if positive else Or(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, positive)
+        right = _nnf(formula.right, positive)
+        return Or(left, right) if positive else And(left, right)
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, positive)
+        return Forall(formula.variable, body) if positive else Exists(formula.variable, body)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, positive)
+        return Exists(formula.variable, body) if positive else Forall(formula.variable, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def rename_apart(formula):
+    """Rename quantified variables so they are pairwise distinct and distinct
+    from the formula's free variables.
+
+    This establishes condition (2) of admissibility (Definition 5.3) without
+    changing the formula's meaning.
+    """
+    used = {v.name for v in free_variables(formula)}
+    return _rename(formula, {}, used)
+
+
+def _rename(formula, renaming, used):
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(renaming.get(a, a) for a in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(renaming.get(formula.left, formula.left), renaming.get(formula.right, formula.right))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_rename(formula.body, renaming, used))
+    if isinstance(formula, Know):
+        return Know(_rename(formula.body, renaming, used))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        left = _rename(formula.left, renaming, used)
+        right = _rename(formula.right, renaming, used)
+        return type(formula)(left, right)
+    if isinstance(formula, (Forall, Exists)):
+        original = formula.variable
+        if original.name in used or original in renaming:
+            replacement = fresh_variable(avoid=used, prefix=original.name + "_")
+        else:
+            replacement = original
+        used.add(replacement.name)
+        inner = dict(renaming)
+        inner[original] = replacement
+        return type(formula)(replacement, _rename(formula.body, inner, used))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def right_associate(formula):
+    """Re-associate every conjunction in *formula* to the right.
+
+    ``(a & b) & c`` becomes ``a & (b & c)``.  Lemma 5.1 shows this preserves
+    safety, and the soundness proof of Theorem 5.1 assumes the query has been
+    right-associated.
+    """
+    if isinstance(formula, And):
+        items = [right_associate(item) for item in conjuncts(formula)]
+        result = items[-1]
+        for item in reversed(items[:-1]):
+            result = And(item, result)
+        return result
+    if isinstance(formula, (Or, Implies, Iff)):
+        return type(formula)(right_associate(formula.left), right_associate(formula.right))
+    if isinstance(formula, Not):
+        return Not(right_associate(formula.body))
+    if isinstance(formula, Know):
+        return Know(right_associate(formula.body))
+    if isinstance(formula, (Forall, Exists)):
+        return type(formula)(formula.variable, right_associate(formula.body))
+    return formula
+
+
+def conjuncts(formula):
+    """Return the list of conjuncts of a (possibly nested) conjunction."""
+    if isinstance(formula, And):
+        return conjuncts(formula.left) + conjuncts(formula.right)
+    return [formula]
+
+
+def disjuncts(formula):
+    """Return the list of disjuncts of a (possibly nested) disjunction."""
+    if isinstance(formula, Or):
+        return disjuncts(formula.left) + disjuncts(formula.right)
+    return [formula]
+
+
+def remove_know(formula):
+    """Erase every ``K`` operator (Theorem 7.1).
+
+    Under the closed-world assumption ``Closure(Σ) ⊨ σ`` iff
+    ``Closure(Σ) ⊨_FOPCE σ̂`` where ``σ̂`` is σ with all ``K`` operators
+    removed.
+    """
+    if isinstance(formula, Know):
+        return remove_know(formula.body)
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(remove_know(formula.body))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return type(formula)(remove_know(formula.left), remove_know(formula.right))
+    if isinstance(formula, (Forall, Exists)):
+        return type(formula)(formula.variable, remove_know(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def insert_know(formula):
+    """The 𝒦(w) transform of Definition 7.1: replace every atom *a* of the
+    first-order formula *w* by ``K a``.
+
+    The result is a subjective K1 formula (Remark 7.1), used by Theorem 7.3
+    to evaluate closed-world queries with ``demo``.
+    """
+    if isinstance(formula, (Atom, Equals)):
+        return Know(formula)
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Know):
+        raise NotFirstOrderError("insert_know expects a first-order formula")
+    if isinstance(formula, Not):
+        return Not(insert_know(formula.body))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return type(formula)(insert_know(formula.left), insert_know(formula.right))
+    if isinstance(formula, (Forall, Exists)):
+        return type(formula)(formula.variable, insert_know(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_admissible_form(formula):
+    """Rewrite a constraint/query into the negative-existential shape of
+    Example 5.4.
+
+    The rewriting applies the KFOPCE-valid equivalences
+
+    * ``forall x. w``        →  ``~ exists x. ~ w``
+    * ``a -> b``             →  ``~(a & ~b)``   (inside a negated existential)
+    * ``a <-> b``            →  ``(a -> b) & (b -> a)`` first
+    * double negations are removed
+
+    and finally renames quantified variables apart.  The result is logically
+    equivalent in KFOPCE, and for the constraint forms of Section 3 it is
+    admissible (Result 5.1); callers should still verify admissibility with
+    :func:`repro.logic.classify.is_admissible` because arbitrary input
+    formulas may fall outside the admissible class no matter how they are
+    rewritten.
+    """
+    return rename_apart(_push_negative(_expand_iff(formula), positive=True))
+
+
+def _expand_iff(formula):
+    if isinstance(formula, Iff):
+        left = _expand_iff(formula.left)
+        right = _expand_iff(formula.right)
+        return And(Implies(left, right), Implies(right, left))
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_expand_iff(formula.body))
+    if isinstance(formula, Know):
+        return Know(_expand_iff(formula.body))
+    if isinstance(formula, (And, Or, Implies)):
+        return type(formula)(_expand_iff(formula.left), _expand_iff(formula.right))
+    if isinstance(formula, (Forall, Exists)):
+        return type(formula)(formula.variable, _expand_iff(formula.body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _push_negative(formula, positive):
+    """Rewrite keeping modal structure intact but exchanging ``forall``/
+    ``->``/``|`` for the ``~ exists ... &`` shapes of Example 5.4."""
+    if isinstance(formula, (Atom, Equals)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Top):
+        return Top() if positive else Bottom()
+    if isinstance(formula, Bottom):
+        return Bottom() if positive else Top()
+    if isinstance(formula, Know):
+        rewritten = Know(_push_negative(formula.body, True))
+        return rewritten if positive else Not(rewritten)
+    if isinstance(formula, Not):
+        return _push_negative(formula.body, not positive)
+    if isinstance(formula, And):
+        left = _push_negative(formula.left, positive)
+        right = _push_negative(formula.right, positive)
+        return And(left, right) if positive else Or(left, right)
+    if isinstance(formula, Or):
+        left = _push_negative(formula.left, positive)
+        right = _push_negative(formula.right, positive)
+        return Or(left, right) if positive else And(left, right)
+    if isinstance(formula, Implies):
+        if positive:
+            # a -> b  ≡  ~(a & ~b)
+            return Not(And(_push_negative(formula.left, True), _push_negative(formula.right, False)))
+        return And(_push_negative(formula.left, True), _push_negative(formula.right, False))
+    if isinstance(formula, Forall):
+        if positive:
+            # forall x. w  ≡  ~ exists x. ~w
+            return Not(Exists(formula.variable, _push_negative(formula.body, False)))
+        return Exists(formula.variable, _push_negative(formula.body, False))
+    if isinstance(formula, Exists):
+        if positive:
+            return Exists(formula.variable, _push_negative(formula.body, True))
+        # ~ exists x. w ≡ forall x. ~w ≡ ~ exists x. w — keep the negated existential.
+        return Not(Exists(formula.variable, _push_negative(formula.body, True)))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def simplify(formula):
+    """Perform basic boolean simplifications involving ``Top``/``Bottom`` and
+    double negation.  The result is logically equivalent in KFOPCE."""
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        body = simplify(formula.body)
+        if isinstance(body, Top):
+            return Bottom()
+        if isinstance(body, Bottom):
+            return Top()
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if isinstance(formula, Know):
+        body = simplify(formula.body)
+        if isinstance(body, Top):
+            return Top()
+        return Know(body)
+    if isinstance(formula, And):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, Bottom) or isinstance(right, Bottom):
+            return Bottom()
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if left == right:
+            return left
+        return And(left, right)
+    if isinstance(formula, Or):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, Top) or isinstance(right, Top):
+            return Top()
+        if isinstance(left, Bottom):
+            return right
+        if isinstance(right, Bottom):
+            return left
+        if left == right:
+            return left
+        return Or(left, right)
+    if isinstance(formula, Implies):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, Bottom) or isinstance(right, Top):
+            return Top()
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Bottom):
+            return Not(left) if not isinstance(left, Not) else left.body
+        return Implies(left, right)
+    if isinstance(formula, Iff):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == right:
+            return Top()
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        return Iff(left, right)
+    if isinstance(formula, (Forall, Exists)):
+        body = simplify(formula.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        if formula.variable not in free_variables(body):
+            return body
+        return type(formula)(formula.variable, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def instantiate(formula, variable, parameter):
+    """Return ``formula`` with *parameter* substituted for free occurrences of
+    *variable* (the paper's ``w|ᵖₓ`` notation)."""
+    return Substitution({variable: parameter}).apply(formula)
+
+
+def ground_quantifiers(formula, universe):
+    """Expand quantifiers over the finite *universe* of parameters.
+
+    ``forall x. w`` becomes the conjunction of ``w|ᵖₓ`` over all parameters
+    *p* in the universe; ``exists`` becomes the disjunction.  This is the core
+    of the finite-universe reduction used by the prover (see DESIGN.md for
+    when this reduction is exact).
+    """
+    universe = tuple(universe)
+    return _ground(formula, universe)
+
+
+def _ground(formula, universe):
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_ground(formula.body, universe))
+    if isinstance(formula, Know):
+        return Know(_ground(formula.body, universe))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return type(formula)(_ground(formula.left, universe), _ground(formula.right, universe))
+    if isinstance(formula, Forall):
+        grounded = [
+            _ground(instantiate(formula.body, formula.variable, p), universe) for p in universe
+        ]
+        if not grounded:
+            return Top()
+        result = grounded[0]
+        for item in grounded[1:]:
+            result = And(result, item)
+        return result
+    if isinstance(formula, Exists):
+        grounded = [
+            _ground(instantiate(formula.body, formula.variable, p), universe) for p in universe
+        ]
+        if not grounded:
+            return Bottom()
+        result = grounded[0]
+        for item in grounded[1:]:
+            result = Or(result, item)
+        return result
+    raise TypeError(f"unknown formula node {formula!r}")

@@ -1,0 +1,33 @@
+"""Reasoning about queries and constraints (Section 4): equivalence proofs
+and constraint-driven query optimisation.
+
+Corollary 4.1 licenses replacing an integrity constraint by any
+KFOPCE-equivalent one (typically a cheaper, admissible form); Corollary 4.2
+licenses replacing a query by any query that is KFOPCE-equivalent *given the
+constraints the database is known to satisfy*.  This subpackage provides:
+
+* :mod:`repro.optimize.equivalence` — checked equivalence of constraints and
+  of queries under constraints, built on the KFOPCE validity checker;
+* :mod:`repro.optimize.rewriter` — a small semantic query optimiser that
+  applies constraint-derived rewrites (redundant-conjunct elimination,
+  known-type introduction) and verifies each rewrite before using it;
+* :mod:`repro.optimize.simplify` — formula-level simplifications that are
+  KFOPCE-valid regardless of the database.
+"""
+
+from repro.optimize.equivalence import (
+    constraints_equivalent,
+    queries_equivalent_under,
+    constraint_redundant,
+)
+from repro.optimize.rewriter import RewriteResult, SemanticOptimizer
+from repro.optimize.simplify import simplify_query
+
+__all__ = [
+    "RewriteResult",
+    "SemanticOptimizer",
+    "constraint_redundant",
+    "constraints_equivalent",
+    "queries_equivalent_under",
+    "simplify_query",
+]

@@ -1,0 +1,69 @@
+"""Equivalence of constraints and queries (Corollaries 4.1 and 4.2).
+
+Both corollaries rest on facts of the form ``⊨_KFOPCE φ``; here they are
+discharged by the finite-structure validity checker of
+:mod:`repro.semantics.kfopce_validity` when the formulas are small enough,
+and by an entailment-relative fallback otherwise:
+
+* ``constraints_equivalent(ic1, ic2)`` — Corollary 4.1's premise.  When it
+  holds, a database satisfies ic1 iff it satisfies ic2, so the cheaper form
+  can be used for integrity maintenance.
+* ``queries_equivalent_under(ic, q1, q2)`` — Corollary 4.2's premise.  When
+  it holds and the database satisfies ic, the two queries have the same
+  answers, so the cheaper one can be evaluated instead.
+* ``constraint_redundant(existing, candidate)`` — Theorem 4.1 applied to
+  constraint-set maintenance: a candidate entailed (in KFOPCE) by the
+  conjunction of the existing constraints adds nothing.
+"""
+
+from repro.exceptions import UniverseTooLargeError
+from repro.logic.builders import conj
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.kfopce_validity import (
+    kfopce_equivalent,
+    kfopce_equivalent_under,
+    kfopce_implies,
+)
+
+
+def constraints_equivalent(first, second, config=DEFAULT_CONFIG):
+    """Corollary 4.1's premise: ``⊨_KFOPCE first ≡ second``.
+
+    Returns True/False when the validity checker can decide it; raises
+    :class:`UniverseTooLargeError` when the formulas mention too many ground
+    atoms for exhaustive checking (callers may then fall back to
+    database-relative checks).
+    """
+    return kfopce_equivalent(first, second, config=config)
+
+
+def queries_equivalent_under(constraint, first, second, config=DEFAULT_CONFIG):
+    """Corollary 4.2's premise: ``constraint ⊨_KFOPCE ∀x̄ (first ≡ second)``."""
+    return kfopce_equivalent_under(constraint, first, second, config=config)
+
+
+def constraint_redundant(existing, candidate, config=DEFAULT_CONFIG):
+    """Return True when *candidate* is KFOPCE-entailed by the conjunction of
+    the *existing* constraints (and hence redundant in the constraint set)."""
+    existing = list(existing)
+    if not existing:
+        return False
+    return kfopce_implies(conj(existing), candidate, config=config)
+
+
+def equivalent_for_database(reducer, first, second):
+    """A database-relative (weaker) equivalence check: both formulas are
+    entailed, or both negations are, or both are undetermined *for this Σ*.
+
+    Useful as a cheap sanity filter before attempting the expensive
+    ``⊨_KFOPCE`` proof, and as a fallback when that proof is out of reach;
+    note it does **not** justify replacing one query by the other for a
+    different database.
+    """
+    from repro.logic.syntax import Not, free_variables
+
+    if free_variables(first) or free_variables(second):
+        return reducer.answers(first).tuples() == reducer.answers(second).tuples()
+    verdict_first = (reducer.entails(first), reducer.entails(Not(first)))
+    verdict_second = (reducer.entails(second), reducer.entails(Not(second)))
+    return verdict_first == verdict_second

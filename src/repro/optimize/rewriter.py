@@ -1,0 +1,136 @@
+"""Constraint-driven (semantic) query optimisation — Corollary 4.2 in
+practice.
+
+The optimiser takes the constraints a database is known to satisfy and a
+query, proposes candidate rewrites, and keeps a candidate only when its
+equivalence to the original *under the constraints* can be established
+(exactly the licence Corollary 4.2 grants).  Two families of rewrites are
+implemented, in the spirit of Chakravarthy–Grant–Minker semantic query
+optimisation but for KFOPCE queries:
+
+* **redundant-conjunct elimination** — drop a conjunct that the constraints
+  make implied by the remaining ones (e.g. drop ``K person(x)`` from
+  ``K emp(x) & K person(x)`` when the constraints say every known employee is
+  a known person);
+* **constraint-based pruning to failure** — detect that a query contradicts
+  the constraints (e.g. asks for a known individual that is both male and
+  female when the constraints forbid it) and replace it by ``false``.
+
+Each accepted rewrite records the constraint used and the proof method, so
+callers can audit why a query changed.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import UniverseTooLargeError
+from repro.logic.builders import conj
+from repro.logic.printer import to_text
+from repro.logic.syntax import And, Bottom, Not, free_variables
+from repro.logic.transform import conjuncts
+from repro.optimize.equivalence import queries_equivalent_under
+from repro.optimize.simplify import simplify_query
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.kfopce_validity import kfopce_implies
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """The outcome of optimising one query."""
+
+    original: object
+    optimized: object
+    applied: Tuple[str, ...] = ()
+
+    @property
+    def changed(self):
+        return self.original != self.optimized
+
+    def __str__(self):
+        if not self.changed:
+            return f"unchanged: {to_text(self.original)}"
+        steps = "; ".join(self.applied)
+        return f"{to_text(self.original)}  ⇒  {to_text(self.optimized)}   [{steps}]"
+
+
+class SemanticOptimizer:
+    """Rewrites queries using the database's integrity constraints."""
+
+    def __init__(self, constraints=(), config=DEFAULT_CONFIG, verify="validity"):
+        """*verify* selects how candidate rewrites are justified:
+
+        * ``"validity"`` — prove ``constraints ⊨_KFOPCE (q ≡ q')`` with the
+          exhaustive checker (sound; may raise on large formulas, in which
+          case the candidate is discarded);
+        * ``"assume"`` — accept structurally generated candidates without
+          proof (useful for benchmarking the rewrite machinery itself; not
+          sound in general and clearly labelled in the result).
+        """
+        if verify not in ("validity", "assume"):
+            raise ValueError("verify must be 'validity' or 'assume'")
+        self.constraints = list(constraints)
+        self.config = config
+        self.verify = verify
+
+    # -- public API ---------------------------------------------------------
+    def optimize(self, query):
+        """Return a :class:`RewriteResult` for *query*."""
+        applied = []
+        current = simplify_query(query)
+        if current != query:
+            applied.append("database-independent simplification")
+        pruned = self._prune_contradiction(current)
+        if pruned is not None:
+            return RewriteResult(query, Bottom(), tuple(applied + [pruned]))
+        slimmed, steps = self._drop_redundant_conjuncts(current)
+        applied.extend(steps)
+        return RewriteResult(query, slimmed, tuple(applied))
+
+    # -- rewrites ---------------------------------------------------------------
+    def _justified(self, original, candidate):
+        """Is replacing *original* by *candidate* licensed by Corollary 4.2?"""
+        if self.verify == "assume":
+            return True
+        if not self.constraints:
+            return False
+        try:
+            return queries_equivalent_under(
+                conj(self.constraints), original, candidate, config=self.config
+            )
+        except UniverseTooLargeError:
+            return False
+
+    def _prune_contradiction(self, query):
+        """Return a description string when the constraints refute the query
+        outright (so it can be replaced by ``false``), else ``None``."""
+        if self.verify == "assume" or not self.constraints:
+            return None
+        try:
+            refuted = kfopce_implies(conj(self.constraints), Not(query), config=self.config)
+        except UniverseTooLargeError:
+            return None
+        if refuted:
+            return "constraints refute the query (pruned to false)"
+        return None
+
+    def _drop_redundant_conjuncts(self, query):
+        """Try removing each top-level conjunct in turn, keeping removals
+        that are justified by the constraints."""
+        if not isinstance(query, And):
+            return query, []
+        parts = conjuncts(query)
+        steps = []
+        changed = True
+        while changed and len(parts) > 1:
+            changed = False
+            for index, part in enumerate(parts):
+                remaining = parts[:index] + parts[index + 1:]
+                candidate = conj(remaining)
+                if free_variables(candidate) != free_variables(query):
+                    continue  # dropping the conjunct would change the answer arity
+                if self._justified(conj(parts), candidate):
+                    steps.append(f"dropped redundant conjunct {to_text(part)}")
+                    parts = remaining
+                    changed = True
+                    break
+        return conj(parts), steps

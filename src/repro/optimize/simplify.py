@@ -1,0 +1,80 @@
+"""Database-independent query simplification.
+
+These rewrites are valid in KFOPCE for every database (they only use
+propositional equivalences, quantifier scoping and the definition of ``K``),
+so they can always be applied before evaluation:
+
+* boolean simplification with the truth constants,
+* removal of double negation,
+* collapse of ``K K w`` to ``K w`` (the semantics of weak S5 validates the
+  4-axiom direction needed here: both are true exactly when the body holds
+  throughout 𝒮),
+* flattening of duplicated conjuncts/disjuncts,
+* dropping vacuous quantifiers.
+
+The function is deliberately conservative: anything it cannot obviously
+simplify it returns untouched, and every rewrite it does make is covered by a
+property test asserting equivalence on random small structures.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.transform import conjuncts, disjuncts, simplify
+from repro.logic.builders import conj, disj
+
+
+def simplify_query(formula):
+    """Return a simplified formula equivalent to *formula* in KFOPCE."""
+    return simplify(_walk(simplify(formula)))
+
+
+def _walk(formula):
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return formula
+    if isinstance(formula, Know):
+        body = _walk(formula.body)
+        if isinstance(body, Know):
+            # K K w and K w coincide: both hold iff w holds in every S ∈ 𝒮.
+            return body
+        return Know(body)
+    if isinstance(formula, Not):
+        body = _walk(formula.body)
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if isinstance(formula, And):
+        parts = []
+        for part in conjuncts(formula):
+            walked = _walk(part)
+            if walked not in parts:
+                parts.append(walked)
+        return conj(parts)
+    if isinstance(formula, Or):
+        parts = []
+        for part in disjuncts(formula):
+            walked = _walk(part)
+            if walked not in parts:
+                parts.append(walked)
+        return disj(parts)
+    if isinstance(formula, (Implies, Iff)):
+        return type(formula)(_walk(formula.left), _walk(formula.right))
+    if isinstance(formula, (Forall, Exists)):
+        from repro.logic.syntax import free_variables
+
+        body = _walk(formula.body)
+        if formula.variable not in free_variables(body):
+            return body
+        return type(formula)(formula.variable, body)
+    raise TypeError(f"unknown formula node {formula!r}")

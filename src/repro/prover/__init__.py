@@ -1,0 +1,38 @@
+"""First-order (FOPCE) theorem proving substrate.
+
+Section 5.1 of the paper assumes a sound and complete first-order theorem
+prover ``prove(f, Σ)`` that *enumerates* the parameter tuples p̄ for which
+``Σ ⊨_FOPCE f|p̄``; the design of such a prover for the non-standard logic
+FOPCE (parameters are pairwise distinct and exhaust the domain) is left open.
+This subpackage supplies one for the function-free, finite-active-universe
+setting used throughout the reproduction:
+
+1. quantifiers are expanded over the active universe
+   (:mod:`repro.prover.grounding`),
+2. the resulting ground formulas are Tseitin-encoded into CNF
+   (:mod:`repro.prover.cnf`),
+3. satisfiability is decided by a DPLL solver with unit propagation
+   (:mod:`repro.prover.dpll`),
+4. entailment, consistency and answer enumeration are layered on top
+   (:mod:`repro.prover.prove`), including the generator interface ``demo``
+   expects.
+
+Unique names and domain closure are built in: equality atoms between
+parameters are evaluated during grounding, exactly as the FOPCE semantics
+prescribes.
+"""
+
+from repro.prover.dpll import DPLLSolver, Clause
+from repro.prover.cnf import cnf_clauses
+from repro.prover.grounding import ground_theory, ground_sentence
+from repro.prover.prove import FirstOrderProver, ProverStatistics
+
+__all__ = [
+    "Clause",
+    "DPLLSolver",
+    "FirstOrderProver",
+    "ProverStatistics",
+    "cnf_clauses",
+    "ground_sentence",
+    "ground_theory",
+]

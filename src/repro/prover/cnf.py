@@ -1,0 +1,198 @@
+"""Conversion of ground formulas to CNF clauses.
+
+Two encodings are provided:
+
+* :func:`cnf_clauses` — a structural (Tseitin-style) encoding that introduces
+  one auxiliary variable per compound subformula.  It is linear in the size
+  of the input and *equisatisfiable*, which is all the entailment checks
+  need.
+* :func:`naive_cnf_clauses` — textbook distribution of ``|`` over ``&``,
+  producing an *equivalent* clause set at a potentially exponential price.
+  It is kept for cross-checking the Tseitin encoding in the test suite and
+  for the E9 ablation benchmark.
+
+Both encodings work on an :class:`AtomTable` that maps ground atoms to
+positive integers so that the SAT layer never needs to know about formulas.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.transform import negation_normal_form, simplify
+from repro.prover.dpll import Clause
+
+
+class AtomTable:
+    """A bijection between ground atoms and SAT variable numbers.
+
+    Auxiliary (Tseitin) variables are allocated after the atom variables and
+    never map back to an atom.
+    """
+
+    def __init__(self):
+        self._atom_to_index = {}
+        self._index_to_atom = {}
+        self._next = 1
+
+    def variable_for(self, atom):
+        """Return (allocating if needed) the variable number of *atom*."""
+        index = self._atom_to_index.get(atom)
+        if index is None:
+            index = self._next
+            self._next += 1
+            self._atom_to_index[atom] = index
+            self._index_to_atom[index] = atom
+        return index
+
+    def fresh_variable(self):
+        """Allocate an auxiliary variable that corresponds to no atom."""
+        index = self._next
+        self._next += 1
+        return index
+
+    def atom_for(self, variable):
+        """Return the atom of *variable*, or ``None`` for auxiliaries."""
+        return self._index_to_atom.get(variable)
+
+    def atom_variables(self):
+        """Return the variable numbers that correspond to real atoms."""
+        return dict(self._atom_to_index)
+
+    def __len__(self):
+        return self._next - 1
+
+    def __contains__(self, atom):
+        return atom in self._atom_to_index
+
+
+def cnf_clauses(formulas, table=None):
+    """Tseitin-encode ground *formulas*; returns ``(clauses, table)``.
+
+    Each formula is asserted true: the clause set is satisfiable exactly when
+    the conjunction of the formulas is.
+    """
+    table = table if table is not None else AtomTable()
+    clauses = []
+    for formula in formulas:
+        prepared = simplify(negation_normal_form(formula))
+        if isinstance(prepared, Top):
+            continue
+        if isinstance(prepared, Bottom):
+            clauses.append(Clause([]))  # unsatisfiable marker
+            continue
+        root = _tseitin(prepared, table, clauses)
+        clauses.append(Clause([root]))
+    return clauses, table
+
+
+def _tseitin(formula, table, clauses):
+    """Return a literal equisatisfiably representing *formula*, adding
+    defining clauses to *clauses*."""
+    if isinstance(formula, Atom):
+        return table.variable_for(formula)
+    if isinstance(formula, Equals):
+        # Ground equalities are decided during grounding; if one survives it
+        # is between identical parameters and therefore true.
+        return _constant_literal(True, table, clauses)
+    if isinstance(formula, Top):
+        return _constant_literal(True, table, clauses)
+    if isinstance(formula, Bottom):
+        return _constant_literal(False, table, clauses)
+    if isinstance(formula, Not):
+        return -_tseitin(formula.body, table, clauses)
+    if isinstance(formula, And):
+        left = _tseitin(formula.left, table, clauses)
+        right = _tseitin(formula.right, table, clauses)
+        aux = table.fresh_variable()
+        clauses.append(Clause([-aux, left]))
+        clauses.append(Clause([-aux, right]))
+        clauses.append(Clause([aux, -left, -right]))
+        return aux
+    if isinstance(formula, Or):
+        left = _tseitin(formula.left, table, clauses)
+        right = _tseitin(formula.right, table, clauses)
+        aux = table.fresh_variable()
+        clauses.append(Clause([-aux, left, right]))
+        clauses.append(Clause([aux, -left]))
+        clauses.append(Clause([aux, -right]))
+        return aux
+    if isinstance(formula, (Implies, Iff)):
+        # negation_normal_form eliminates these; defensive fallthrough.
+        raise TypeError(f"unexpected connective after NNF: {formula!r}")
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _constant_literal(value, table, clauses):
+    """Allocate an auxiliary variable fixed to *value* and return it as a
+    literal; the defining unit clause gives it the right truth value."""
+    aux = table.fresh_variable()
+    clauses.append(Clause([aux]) if value else Clause([-aux]))
+    return aux
+
+
+def naive_cnf_clauses(formulas, table=None):
+    """Distribute to CNF without auxiliary variables; returns
+    ``(clauses, table)``.  Exponential in the worst case."""
+    table = table if table is not None else AtomTable()
+    clauses = []
+    for formula in formulas:
+        prepared = simplify(negation_normal_form(formula))
+        if isinstance(prepared, Top):
+            continue
+        if isinstance(prepared, Bottom):
+            clauses.append(Clause([]))
+            continue
+        for disjunction in _distribute(prepared):
+            literals = []
+            tautology = False
+            for sign, atom in disjunction:
+                literal = table.variable_for(atom) * (1 if sign else -1)
+                if -literal in literals:
+                    tautology = True
+                    break
+                literals.append(literal)
+            if not tautology:
+                clauses.append(Clause(literals))
+    return clauses, table
+
+
+def _distribute(formula):
+    """Return CNF as a list of disjunctions, each a list of (sign, atom)."""
+    if isinstance(formula, Atom):
+        return [[(True, formula)]]
+    if isinstance(formula, Equals):
+        return []  # true after grounding
+    if isinstance(formula, Top):
+        return []
+    if isinstance(formula, Bottom):
+        return [[]]
+    if isinstance(formula, Not):
+        body = formula.body
+        if isinstance(body, Atom):
+            return [[(False, body)]]
+        if isinstance(body, Equals):
+            return [[]]  # ~(p = p) is false
+        if isinstance(body, Top):
+            return [[]]
+        if isinstance(body, Bottom):
+            return []
+        raise TypeError(f"formula not in NNF: {formula!r}")
+    if isinstance(formula, And):
+        return _distribute(formula.left) + _distribute(formula.right)
+    if isinstance(formula, Or):
+        left = _distribute(formula.left)
+        right = _distribute(formula.right)
+        if not left:
+            return []
+        if not right:
+            return []
+        return [l + r for l in left for r in right]
+    raise TypeError(f"unknown formula node {formula!r}")

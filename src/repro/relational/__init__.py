@@ -1,0 +1,43 @@
+"""A relational-database substrate.
+
+Section 7 of the paper specialises its story to relational databases: an
+instance is a finite set of ground atoms, query evaluation happens against
+``Closure(DB)`` (whose unique model is the instance itself viewed as a
+world), and a first-order integrity constraint is satisfied exactly when it
+is true in that world — the classical notion from relational database
+theory.  This subpackage provides the substrate needed to exercise that
+story end to end:
+
+* :mod:`repro.relational.schema` — relation schemas and instances with typed
+  arity checking;
+* :mod:`repro.relational.algebra` — selection / projection / join /
+  union / difference over instances (used by examples and by the dependency
+  checker);
+* :mod:`repro.relational.dependencies` — functional and inclusion
+  dependencies, both in their classical reading (truth in the instance) and
+  in the paper's modal reading (Example 3.5).
+"""
+
+from repro.relational.schema import RelationSchema, RelationalDatabase
+from repro.relational.algebra import (
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.dependencies import FunctionalDependency, InclusionDependency
+
+__all__ = [
+    "FunctionalDependency",
+    "InclusionDependency",
+    "RelationSchema",
+    "RelationalDatabase",
+    "difference",
+    "join",
+    "project",
+    "rename",
+    "select",
+    "union",
+]

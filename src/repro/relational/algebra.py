@@ -1,0 +1,125 @@
+"""A small relational algebra over named-attribute relations.
+
+Operations take and return :class:`Relation` values — an immutable pairing of
+an attribute list with a set of tuples — so they compose freely and never
+mutate the underlying :class:`~repro.relational.schema.RelationalDatabase`.
+The algebra exists to support the example applications (warehouse reports,
+dependency checking) and to make the relational substrate genuinely usable,
+not to compete with a real query engine.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import UnknownPredicateError
+from repro.logic.terms import Parameter
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable relation value: attribute names plus a set of tuples."""
+
+    attributes: Tuple[str, ...]
+    rows: frozenset
+
+    def __init__(self, attributes, rows):
+        attributes = tuple(attributes)
+        frozen_rows = frozenset(tuple(row) for row in rows)
+        for row in frozen_rows:
+            if len(row) != len(attributes):
+                raise ValueError(
+                    f"row {row} does not match attributes {attributes}"
+                )
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "rows", frozen_rows)
+
+    def position_of(self, attribute):
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise UnknownPredicateError(f"no attribute {attribute!r}") from None
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(sorted(self.rows, key=lambda r: tuple(str(v) for v in r)))
+
+    def column(self, attribute):
+        """Return the set of values in *attribute*'s column."""
+        index = self.position_of(attribute)
+        return {row[index] for row in self.rows}
+
+
+def relation_of(database, name):
+    """Lift a stored relation of a
+    :class:`~repro.relational.schema.RelationalDatabase` into a
+    :class:`Relation` value."""
+    schema = database.schema(name)
+    return Relation(schema.attributes, database.tuples(name))
+
+
+def select(relation, predicate):
+    """Keep the rows for which ``predicate(row_dict)`` is true; the predicate
+    receives a dict keyed by attribute name."""
+    kept = [
+        row
+        for row in relation.rows
+        if predicate(dict(zip(relation.attributes, row)))
+    ]
+    return Relation(relation.attributes, kept)
+
+
+def select_eq(relation, attribute, value):
+    """Selection on attribute equality with a constant."""
+    if not isinstance(value, Parameter):
+        value = Parameter(str(value))
+    index = relation.position_of(attribute)
+    return Relation(relation.attributes, [r for r in relation.rows if r[index] == value])
+
+
+def project(relation, attributes):
+    """Projection onto *attributes* (duplicates collapse, as sets do)."""
+    indexes = [relation.position_of(a) for a in attributes]
+    rows = {tuple(row[i] for i in indexes) for row in relation.rows}
+    return Relation(tuple(attributes), rows)
+
+
+def rename(relation, mapping):
+    """Rename attributes according to *mapping* (old name → new name)."""
+    attributes = tuple(mapping.get(a, a) for a in relation.attributes)
+    if len(set(attributes)) != len(attributes):
+        raise ValueError("renaming would create duplicate attribute names")
+    return Relation(attributes, relation.rows)
+
+
+def union(left, right):
+    """Set union; attribute lists must match."""
+    if left.attributes != right.attributes:
+        raise ValueError("union requires identical attribute lists")
+    return Relation(left.attributes, left.rows | right.rows)
+
+
+def difference(left, right):
+    """Set difference; attribute lists must match."""
+    if left.attributes != right.attributes:
+        raise ValueError("difference requires identical attribute lists")
+    return Relation(left.attributes, left.rows - right.rows)
+
+
+def join(left, right):
+    """Natural join on the shared attribute names."""
+    shared = [a for a in left.attributes if a in right.attributes]
+    right_only = [a for a in right.attributes if a not in shared]
+    attributes = tuple(left.attributes) + tuple(right_only)
+    left_shared_index = [left.position_of(a) for a in shared]
+    right_shared_index = [right.position_of(a) for a in shared]
+    right_only_index = [right.position_of(a) for a in right_only]
+    rows = []
+    for l_row in left.rows:
+        l_key = tuple(l_row[i] for i in left_shared_index)
+        for r_row in right.rows:
+            r_key = tuple(r_row[i] for i in right_shared_index)
+            if l_key == r_key:
+                rows.append(tuple(l_row) + tuple(r_row[i] for i in right_only_index))
+    return Relation(attributes, rows)

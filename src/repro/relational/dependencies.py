@@ -1,0 +1,202 @@
+"""Dependencies as integrity constraints.
+
+Example 3.5 of the paper renders the functional dependency "social security
+numbers are unique" as the modal constraint
+
+    ∀x,y,z.  K ss#(x, y) ∧ K ss#(x, z)  ⊃  K y = z
+
+and remarks that the classical first-order forms of the usual relational
+dependencies become correct integrity constraints once modalised.  This
+module provides functional and inclusion dependencies with:
+
+* a **classical check** — truth in the instance viewed as a world, the
+  standard relational notion (and, by Section 7, exactly constraint
+  satisfaction under the closed-world assumption);
+* a **first-order formula** — the textbook sentence;
+* a **modal formula** — the paper's epistemic reading, obtained with
+  :func:`repro.constraints.modalize.modalize_constraint` and usable against
+  *open* databases as well.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.logic.builders import conj, equals, forall, implies, knows, pred, var
+from repro.logic.syntax import Atom
+from repro.logic.terms import Variable
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``relation: determinants → dependents``.
+
+    Attributes are named; e.g. ``FunctionalDependency("ss", ("person",),
+    ("number",))`` says the person determines the number.
+    """
+
+    relation: str
+    determinants: Tuple[str, ...]
+    dependents: Tuple[str, ...]
+
+    def __init__(self, relation, determinants, dependents):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "determinants", tuple(determinants))
+        object.__setattr__(self, "dependents", tuple(dependents))
+
+    # -- classical (instance) check -----------------------------------------
+    def holds_in(self, database):
+        """Classical check: no two tuples agree on the determinants but
+        disagree on a dependent."""
+        return not self.violations(database)
+
+    def violations(self, database):
+        """Return pairs of tuples witnessing a violation."""
+        schema = database.schema(self.relation)
+        det_index = [schema.position_of(a) for a in self.determinants]
+        dep_index = [schema.position_of(a) for a in self.dependents]
+        rows = sorted(database.tuples(self.relation), key=lambda r: tuple(p.name for p in r))
+        found = []
+        for i, first in enumerate(rows):
+            for second in rows[i + 1:]:
+                same_det = all(first[k] == second[k] for k in det_index)
+                same_dep = all(first[k] == second[k] for k in dep_index)
+                if same_det and not same_dep:
+                    found.append((first, second))
+        return found
+
+    # -- logical forms ----------------------------------------------------------
+    def _attribute_variables(self, schema):
+        """Two rows of variables sharing the determinant positions."""
+        first, second = [], []
+        for attribute in schema.attributes:
+            if attribute in self.determinants:
+                shared = Variable(f"{attribute}")
+                first.append(shared)
+                second.append(shared)
+            else:
+                first.append(Variable(f"{attribute}1"))
+                second.append(Variable(f"{attribute}2"))
+        return first, second
+
+    def first_order(self, database):
+        """The textbook first-order sentence for this dependency."""
+        schema = database.schema(self.relation)
+        first, second = self._attribute_variables(schema)
+        antecedent = conj([Atom(self.relation, tuple(first)), Atom(self.relation, tuple(second))])
+        consequent = conj(
+            [
+                equals(first[schema.position_of(a)], second[schema.position_of(a)])
+                for a in self.dependents
+            ]
+        )
+        variables = sorted({v.name for v in first + second})
+        return forall(variables, implies(antecedent, consequent))
+
+    def modal(self, database):
+        """The paper's modal reading (Example 3.5): known tuples agreeing on
+        the determinants are known to agree on the dependents."""
+        schema = database.schema(self.relation)
+        first, second = self._attribute_variables(schema)
+        antecedent = conj(
+            [
+                knows(Atom(self.relation, tuple(first))),
+                knows(Atom(self.relation, tuple(second))),
+            ]
+        )
+        consequent = conj(
+            [
+                knows(
+                    equals(first[schema.position_of(a)], second[schema.position_of(a)])
+                )
+                for a in self.dependents
+            ]
+        )
+        variables = sorted({v.name for v in first + second})
+        return forall(variables, implies(antecedent, consequent))
+
+    def __str__(self):
+        return (
+            f"{self.relation}: {', '.join(self.determinants)} -> {', '.join(self.dependents)}"
+        )
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """An inclusion dependency ``source[source_attrs] ⊆ target[target_attrs]``."""
+
+    source: str
+    source_attributes: Tuple[str, ...]
+    target: str
+    target_attributes: Tuple[str, ...]
+
+    def __init__(self, source, source_attributes, target, target_attributes):
+        source_attributes = tuple(source_attributes)
+        target_attributes = tuple(target_attributes)
+        if len(source_attributes) != len(target_attributes):
+            raise ValueError("inclusion dependency attribute lists must have equal length")
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "source_attributes", source_attributes)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "target_attributes", target_attributes)
+
+    def holds_in(self, database):
+        """Classical check on the instance."""
+        return not self.violations(database)
+
+    def violations(self, database):
+        """Return the source tuples whose projection is missing from the
+        target."""
+        source_schema = database.schema(self.source)
+        target_schema = database.schema(self.target)
+        source_index = [source_schema.position_of(a) for a in self.source_attributes]
+        target_index = [target_schema.position_of(a) for a in self.target_attributes]
+        target_keys = {
+            tuple(row[i] for i in target_index) for row in database.tuples(self.target)
+        }
+        missing = []
+        for row in sorted(database.tuples(self.source), key=lambda r: tuple(p.name for p in r)):
+            key = tuple(row[i] for i in source_index)
+            if key not in target_keys:
+                missing.append(row)
+        return missing
+
+    def first_order(self, database):
+        """The first-order sentence ``∀x̄ (source(...) ⊃ ∃ȳ target(...))``."""
+        source_schema = database.schema(self.source)
+        target_schema = database.schema(self.target)
+        source_variables = [Variable(f"s_{a}") for a in source_schema.attributes]
+        target_variables = []
+        for attribute in target_schema.attributes:
+            if attribute in self.target_attributes:
+                position = self.target_attributes.index(attribute)
+                linked = self.source_attributes[position]
+                target_variables.append(source_variables[source_schema.position_of(linked)])
+            else:
+                target_variables.append(Variable(f"t_{attribute}"))
+        existential = sorted(
+            {v.name for v in target_variables if v not in source_variables}
+        )
+        body = Atom(self.target, tuple(target_variables))
+        if existential:
+            from repro.logic.builders import exists
+
+            body = exists(existential, body)
+        return forall(
+            sorted({v.name for v in source_variables}),
+            implies(Atom(self.source, tuple(source_variables)), body),
+        )
+
+    def modal(self, database):
+        """The modal reading: every *known* source tuple has a *known*
+        matching target tuple (without necessarily knowing its other
+        attributes — the K sits outside the existential, as in
+        Example 3.4)."""
+        from repro.constraints.modalize import modalize_constraint
+
+        return modalize_constraint(self.first_order(database))
+
+    def __str__(self):
+        return (
+            f"{self.source}[{', '.join(self.source_attributes)}] ⊆ "
+            f"{self.target}[{', '.join(self.target_attributes)}]"
+        )

@@ -1,0 +1,190 @@
+"""Relation schemas and relational database instances.
+
+A :class:`RelationalDatabase` is a finite set of tuples per relation — the
+paper's "instance DB of a relational database ... a finite set of atomic
+nonequality sentences" (Section 7).  Instances convert losslessly to:
+
+* FOPCE atoms (to feed the epistemic machinery and the closure),
+* a :class:`~repro.semantics.worlds.World` (the unique model of
+  ``Closure(DB)``),
+* a :class:`~repro.datalog.program.DatalogProgram` of facts.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ArityMismatchError, UnknownPredicateError
+from repro.logic.syntax import Atom
+from repro.logic.terms import Parameter
+from repro.semantics.worlds import World
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation with named attributes."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __init__(self, name, attributes):
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attribute names in relation {name}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attributes)
+
+    @property
+    def arity(self):
+        return len(self.attributes)
+
+    def position_of(self, attribute):
+        """Return the index of *attribute* in the schema."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise UnknownPredicateError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from None
+
+
+def _as_parameter(value):
+    if isinstance(value, Parameter):
+        return value
+    return Parameter(str(value))
+
+
+class RelationalDatabase:
+    """A relational instance: schemas plus finite sets of tuples."""
+
+    def __init__(self, schemas=()):
+        self._schemas = {}
+        self._tuples = {}
+        for schema in schemas:
+            self.add_schema(schema)
+
+    # -- schema management ---------------------------------------------------
+    def add_schema(self, schema, attributes=None):
+        """Register a relation schema.
+
+        Either pass a :class:`RelationSchema`, or a name plus attribute
+        list.
+        """
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema, tuple(attributes or ()))
+        if schema.name in self._schemas:
+            raise ValueError(f"relation {schema.name} already declared")
+        self._schemas[schema.name] = schema
+        self._tuples[schema.name] = set()
+        return schema
+
+    def schema(self, name):
+        """Return the schema of relation *name*."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownPredicateError(f"unknown relation {name!r}") from None
+
+    def relations(self):
+        """Return the declared relation names, sorted."""
+        return sorted(self._schemas)
+
+    # -- tuple management ------------------------------------------------------
+    def insert(self, relation, *values):
+        """Insert a tuple (values are coerced to parameters)."""
+        schema = self.schema(relation)
+        if len(values) != schema.arity:
+            raise ArityMismatchError(
+                f"relation {relation} expects {schema.arity} values, got {len(values)}"
+            )
+        row = tuple(_as_parameter(v) for v in values)
+        self._tuples[relation].add(row)
+        return row
+
+    def insert_many(self, relation, rows):
+        """Insert several tuples at once."""
+        for row in rows:
+            self.insert(relation, *row)
+
+    def delete(self, relation, *values):
+        """Delete a tuple if present; returns True when something was
+        removed."""
+        schema = self.schema(relation)
+        if len(values) != schema.arity:
+            raise ArityMismatchError(
+                f"relation {relation} expects {schema.arity} values, got {len(values)}"
+            )
+        row = tuple(_as_parameter(v) for v in values)
+        if row in self._tuples[relation]:
+            self._tuples[relation].remove(row)
+            return True
+        return False
+
+    def tuples(self, relation):
+        """Return the set of tuples of *relation*."""
+        self.schema(relation)
+        return set(self._tuples[relation])
+
+    def cardinality(self, relation=None):
+        """Number of tuples in one relation, or in the whole database."""
+        if relation is not None:
+            return len(self.tuples(relation))
+        return sum(len(rows) for rows in self._tuples.values())
+
+    def active_domain(self):
+        """Every parameter appearing in some tuple."""
+        found = set()
+        for rows in self._tuples.values():
+            for row in rows:
+                found.update(row)
+        return found
+
+    # -- conversions -------------------------------------------------------------
+    def to_atoms(self):
+        """Render the instance as ground FOPCE atoms."""
+        atoms = []
+        for relation in self.relations():
+            for row in sorted(self._tuples[relation], key=lambda r: tuple(p.name for p in r)):
+                atoms.append(Atom(relation, row))
+        return atoms
+
+    def to_world(self):
+        """Return the instance viewed as a world structure — the unique model
+        of its closure (Section 7)."""
+        return World(self.to_atoms())
+
+    def to_theory(self):
+        """Return the instance as a FOPCE theory (a list of ground atoms)."""
+        return self.to_atoms()
+
+    def to_datalog(self):
+        """Return the instance as a Datalog program of facts."""
+        from repro.datalog.program import DatalogProgram
+
+        program = DatalogProgram()
+        for atom in self.to_atoms():
+            program.add_fact(atom)
+        return program
+
+    @classmethod
+    def from_atoms(cls, atoms):
+        """Build an instance from ground atoms, inferring one schema per
+        predicate with positional attribute names."""
+        database = cls()
+        for atom in atoms:
+            if atom.predicate not in database._schemas:
+                database.add_schema(
+                    RelationSchema(atom.predicate, tuple(f"a{i+1}" for i in range(atom.arity)))
+                )
+            database.insert(atom.predicate, *atom.args)
+        return database
+
+    def __eq__(self, other):
+        if not isinstance(other, RelationalDatabase):
+            return NotImplemented
+        return self._schemas == other._schemas and self._tuples == other._tuples
+
+    def __repr__(self):
+        counts = ", ".join(f"{name}:{len(self._tuples[name])}" for name in self.relations())
+        return f"RelationalDatabase({counts})"

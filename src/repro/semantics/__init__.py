@@ -1,0 +1,56 @@
+"""Possible-world semantics for FOPCE and KFOPCE (Section 2 of the paper).
+
+A *world* is a set of ground atomic sentences (the true atoms); a KFOPCE
+sentence is evaluated against a world ``W`` together with a set of worlds
+``𝒮`` (clause 5 of the truth recursion interprets ``K`` as truth in every
+member of ``𝒮``).  A database Σ — a set of FOPCE sentences — answers a query
+*q* with the parameter tuples p̄ such that ``q|p̄`` is true in ``(W, 𝒮)`` for
+every model ``W`` of Σ, where ``𝒮`` is the set of *all* models of Σ
+(Definition 2.1).
+
+Two evaluation strategies are provided:
+
+* :mod:`repro.semantics.entailment` — direct model enumeration over the
+  relevant ground atoms.  Exponential, but exact and independent of the rest
+  of the system; used as the oracle in tests and for small examples.
+* :mod:`repro.semantics.reduction` — reduction of KFOPCE entailment to
+  first-order entailment checks discharged by :mod:`repro.prover`
+  (Levesque's observation that K acts as a provability operator under ⊨).
+  This is the scalable path and the default for
+  :class:`repro.db.EpistemicDatabase`.
+"""
+
+from repro.semantics.answers import Answer, AnswerStatus
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.worlds import World
+from repro.semantics.truth import is_true, is_true_in_world
+from repro.semantics.models import enumerate_models, relevant_atoms
+from repro.semantics.entailment import (
+    answers,
+    ask,
+    entails,
+    indefinite_answers,
+    is_satisfiable,
+)
+from repro.semantics.kfopce_validity import (
+    kfopce_equivalent,
+    kfopce_valid,
+)
+
+__all__ = [
+    "Answer",
+    "AnswerStatus",
+    "SemanticsConfig",
+    "World",
+    "answers",
+    "ask",
+    "entails",
+    "enumerate_models",
+    "indefinite_answers",
+    "is_satisfiable",
+    "is_true",
+    "is_true_in_world",
+    "kfopce_equivalent",
+    "kfopce_valid",
+    "relevant_atoms",
+]

@@ -1,0 +1,108 @@
+"""Answers to queries.
+
+The paper distinguishes three situations for a *sentence* query q against a
+database Σ (Definition 2.1 and the discussion following it):
+
+* ``Σ ⊨ q``      — the answer is **yes**;
+* ``Σ ⊨ ~q``     — the answer is **no**;
+* neither        — the answer is **unknown**.
+
+For a query with free variables the answers are the parameter tuples p̄ such
+that ``Σ ⊨ q|p̄``.  :class:`Answer` packages both shapes, together with
+optional *indefinite* (disjunctive) answers such as the paper's
+"yes, Mary or Sue" for ``(exists x) Teach(x, Psych)``.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.logic.terms import Parameter
+
+
+class AnswerStatus(enum.Enum):
+    """Trivalent outcome for sentence queries."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The result of evaluating a query.
+
+    Attributes:
+        status: yes / no / unknown for the sentence reading of the query
+            (for open queries, yes means "at least one answer tuple").
+        bindings: the definite answers — tuples of parameters for the query's
+            free variables, in sorted-variable-name order.
+        variables: the names of the free variables the tuples bind.
+        indefinite: optional disjunctive answers — each element is a set of
+            tuples whose disjunction is entailed although no single member
+            is (e.g. {Mary, Sue} for the Psych teacher).
+    """
+
+    status: AnswerStatus
+    bindings: Tuple[Tuple[Parameter, ...], ...] = ()
+    variables: Tuple[str, ...] = ()
+    indefinite: Tuple[FrozenSet[Tuple[Parameter, ...]], ...] = ()
+
+    @property
+    def is_yes(self):
+        return self.status is AnswerStatus.YES
+
+    @property
+    def is_no(self):
+        return self.status is AnswerStatus.NO
+
+    @property
+    def is_unknown(self):
+        return self.status is AnswerStatus.UNKNOWN
+
+    def tuples(self):
+        """Return the definite answer tuples as a set."""
+        return set(self.bindings)
+
+    def values(self):
+        """For single-variable queries, return the set of answer parameters."""
+        if len(self.variables) != 1:
+            raise ValueError("values() requires a query with exactly one free variable")
+        return {t[0] for t in self.bindings}
+
+    def __str__(self):
+        if not self.variables:
+            return str(self.status)
+        if not self.bindings and not self.indefinite:
+            return f"{self.status} (no definite answers)"
+        rendered = [
+            "(" + ", ".join(p.name for p in binding) + ")" for binding in self.bindings
+        ]
+        text = f"{self.status}: {{{', '.join(rendered)}}}"
+        if self.indefinite:
+            groups = []
+            for group in self.indefinite:
+                inner = " or ".join(
+                    "(" + ", ".join(p.name for p in binding) + ")" for binding in sorted(group)
+                )
+                groups.append(inner)
+            text += f" indefinite: {{{'; '.join(groups)}}}"
+        return text
+
+
+def yes(bindings=(), variables=(), indefinite=()):
+    """Construct a YES answer."""
+    return Answer(AnswerStatus.YES, tuple(bindings), tuple(variables), tuple(indefinite))
+
+
+def no(variables=()):
+    """Construct a NO answer."""
+    return Answer(AnswerStatus.NO, (), tuple(variables), ())
+
+
+def unknown(variables=()):
+    """Construct an UNKNOWN answer."""
+    return Answer(AnswerStatus.UNKNOWN, (), tuple(variables), ())

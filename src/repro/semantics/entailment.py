@@ -1,0 +1,145 @@
+"""Definition 2.1: answers to queries, via direct model enumeration.
+
+``entails(Σ, σ)`` decides ``Σ ⊨ σ`` — σ true in ``(W, ℳ(Σ))`` for every
+model W of Σ — by materialising ℳ(Σ) over the relevant ground atoms.  The
+module also provides:
+
+* :func:`answers` — the parameter tuples p̄ with ``Σ ⊨ q|p̄`` (the paper's
+  definition of an answer to an open query),
+* :func:`ask` — the yes / no / unknown verdict for sentence queries,
+* :func:`indefinite_answers` — minimal disjunctions of tuples that are
+  entailed collectively although no member is entailed individually (the
+  paper's "yes, Mary or Sue" answers),
+* :func:`is_satisfiable` — satisfiability of the first-order database.
+
+Everything here is exponential in the number of relevant atoms; it is the
+semantic ground truth that the scalable prover-based reduction and the
+``demo`` evaluator are tested against.
+"""
+
+from itertools import product
+
+from repro.logic.builders import disj
+from repro.logic.syntax import Not, free_variables
+from repro.logic.substitution import Substitution
+from repro.semantics.answers import Answer, AnswerStatus
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.models import active_universe, enumerate_models
+from repro.semantics.truth import is_true
+
+
+def entails(theory, sentence, config=DEFAULT_CONFIG, models=None, universe=None):
+    """Decide ``Σ ⊨ σ`` (Definition 2.1) by model enumeration.
+
+    *models*/*universe* may be supplied to reuse a previously computed model
+    set (they must have been computed with the query included in the
+    relevant-atom set, as :func:`prepare` does).
+    """
+    theory = list(theory)
+    if models is None or universe is None:
+        models, universe = enumerate_models(theory, [sentence], config=config)
+    know_cache = {}
+    return all(
+        is_true(sentence, world, models, universe, know_cache=know_cache)
+        for world in models
+    )
+
+
+def prepare(theory, queries, config=DEFAULT_CONFIG):
+    """Precompute ``(models, universe)`` for a batch of queries against Σ.
+
+    Reusing the model set across queries is how the benchmark harness avoids
+    re-enumerating models for every row of the Section 1 table.
+    """
+    return enumerate_models(theory, queries, config=config)
+
+
+def is_satisfiable(theory, config=DEFAULT_CONFIG):
+    """Return True when the first-order database Σ has at least one model."""
+    models, _ = enumerate_models(theory, config=config)
+    return bool(models)
+
+
+def answers(theory, query, config=DEFAULT_CONFIG):
+    """Return the :class:`Answer` to *query* (Definition 2.1).
+
+    For sentence queries the answer is yes (``Σ ⊨ q``), no (``Σ ⊨ ~q``) or
+    unknown.  For open queries the bindings are every tuple p̄ over the active
+    universe with ``Σ ⊨ q|p̄``; the status is YES when at least one binding
+    exists, UNKNOWN otherwise (an open query is never answered NO — that
+    would assert the database entails the negation of every instance, which
+    callers can ask for explicitly with the universally quantified negation).
+    """
+    theory = list(theory)
+    free = sorted(free_variables(query), key=lambda v: v.name)
+    models, universe = enumerate_models(theory, [query], config=config)
+    know_cache = {}
+    if not free:
+        if all(is_true(query, world, models, universe, know_cache=know_cache) for world in models):
+            return Answer(AnswerStatus.YES)
+        negated = Not(query)
+        if all(is_true(negated, world, models, universe, know_cache=know_cache) for world in models):
+            return Answer(AnswerStatus.NO)
+        return Answer(AnswerStatus.UNKNOWN)
+    bindings = []
+    for tuple_ in product(universe, repeat=len(free)):
+        instantiated = Substitution(dict(zip(free, tuple_))).apply(query)
+        if all(is_true(instantiated, world, models, universe, know_cache=know_cache) for world in models):
+            bindings.append(tuple_)
+    status = AnswerStatus.YES if bindings else AnswerStatus.UNKNOWN
+    return Answer(status, tuple(bindings), tuple(v.name for v in free))
+
+
+def ask(theory, sentence, config=DEFAULT_CONFIG):
+    """Shorthand for :func:`answers` restricted to sentence queries."""
+    if free_variables(sentence):
+        raise ValueError("ask() is for sentences; use answers() for open queries")
+    return answers(theory, sentence, config=config)
+
+
+def indefinite_answers(theory, query, config=DEFAULT_CONFIG, max_group_size=3):
+    """Return the minimal indefinite (disjunctive) answers to *query*.
+
+    A set of tuples ``{p̄1, ..., p̄k}`` is an indefinite answer when
+    ``Σ ⊨ q|p̄1 ∨ ... ∨ q|p̄k`` holds, no single member is entailed on its
+    own, and no proper subset is already an indefinite answer.  This captures
+    the paper's "yes, Mary or Sue" answer to ``(exists x) Teach(x, Psych)``
+    even though neither Mary nor Sue is a definite answer.  The search is
+    bounded by *max_group_size* because the number of candidate groups grows
+    combinatorially.
+    """
+    from itertools import combinations
+
+    theory = list(theory)
+    free = sorted(free_variables(query), key=lambda v: v.name)
+    if not free:
+        raise ValueError("indefinite answers only make sense for open queries")
+    models, universe = enumerate_models(theory, [query], config=config)
+    know_cache = {}
+
+    def entailed(formula):
+        return all(
+            is_true(formula, world, models, universe, know_cache=know_cache)
+            for world in models
+        )
+
+    candidates = list(product(universe, repeat=len(free)))
+    instantiations = {
+        tuple_: Substitution(dict(zip(free, tuple_))).apply(query) for tuple_ in candidates
+    }
+    definite = {t for t in candidates if entailed(instantiations[t])}
+    groups = []
+    for size in range(2, max_group_size + 1):
+        for group in combinations(candidates, size):
+            if any(t in definite for t in group):
+                continue
+            if any(set(existing) <= set(group) for existing in groups):
+                continue
+            if entailed(disj([instantiations[t] for t in group])):
+                groups.append(frozenset(group))
+    return Answer(
+        AnswerStatus.YES if (definite or groups) else AnswerStatus.UNKNOWN,
+        tuple(sorted(definite)),
+        tuple(v.name for v in free),
+        tuple(groups),
+    )

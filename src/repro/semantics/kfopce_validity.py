@@ -1,0 +1,133 @@
+"""Validity and equivalence in the logic KFOPCE (Section 4).
+
+The paper appeals to Levesque's (omitted) axiomatisation of KFOPCE only to
+have *some* way of establishing ``⊨_KFOPCE`` facts — in particular the
+equivalences that drive constraint simplification (Corollary 4.1) and query
+optimisation (Corollary 4.2).  We provide a decision procedure for the
+finite-universe case by brute force over semantic structures:
+
+    σ is valid  iff  σ is true in (W, 𝒮) for every world W and every set of
+    worlds 𝒮 over the relevant ground atoms.
+
+The enumeration is doubly exponential in the number of relevant atoms (there
+are ``2^(2^n)`` candidate 𝒮), so the procedure enforces the
+``max_validity_atoms`` limit of :class:`~repro.semantics.config.SemanticsConfig`
+and also offers a sampling-based refutation mode for larger formulas: a
+returned counterexample is always genuine, while exhausting the samples
+without finding one is only evidence, not proof.
+
+The universe over which quantifiers range is the formula's parameters plus
+the configured fresh witnesses — the same finite-universe reduction used by
+the rest of the package (see DESIGN.md for its scope).
+"""
+
+import itertools
+import random
+
+from repro.exceptions import UniverseTooLargeError
+from repro.logic.builders import iff, implies
+from repro.logic.syntax import free_variables
+from repro.logic.transform import rename_apart
+from repro.logic.builders import forall as forall_builder
+from repro.semantics.config import DEFAULT_CONFIG
+from repro.semantics.models import relevant_atoms
+from repro.semantics.truth import is_true
+from repro.semantics.worlds import World
+from repro.logic.signature import signature_of
+
+
+def _closed(formula):
+    """Universally close *formula* over its free variables."""
+    free = sorted(free_variables(formula), key=lambda v: v.name)
+    if not free:
+        return formula
+    return forall_builder([v.name for v in free], formula)
+
+
+def _structures(formula, config):
+    """Return ``(universe, worlds)`` for the exhaustive enumeration."""
+    signature = signature_of([formula])
+    universe = signature.universe(extra_parameters=config.extra_parameters)
+    atoms = relevant_atoms([formula], universe=universe, config=config)
+    if len(atoms) > config.max_validity_atoms:
+        raise UniverseTooLargeError(
+            f"KFOPCE validity checking over {len(atoms)} relevant atoms would "
+            f"enumerate 2^(2^{len(atoms)}) structures "
+            f"(limit is {config.max_validity_atoms} atoms); "
+            "use kfopce_counterexample for sampling-based refutation"
+        )
+    worlds = []
+    for mask in range(1 << len(atoms)):
+        worlds.append(World(atoms[i] for i in range(len(atoms)) if mask & (1 << i)))
+    return universe, worlds
+
+
+def kfopce_valid(formula, config=DEFAULT_CONFIG):
+    """Return True when *formula* (universally closed) is KFOPCE-valid over
+    the finite-universe structures described in the module docstring."""
+    sentence = _closed(rename_apart(formula))
+    universe, worlds = _structures(sentence, config)
+    for size in range(len(worlds) + 1):
+        for subset in itertools.combinations(worlds, size):
+            world_set = frozenset(subset)
+            for world in worlds:
+                if not is_true(sentence, world, world_set, universe):
+                    return False
+    return True
+
+
+def kfopce_counterexample(formula, config=DEFAULT_CONFIG, samples=2000, seed=0):
+    """Search for a structure falsifying *formula*.
+
+    Returns ``(world, worlds)`` when a counterexample is found, ``None``
+    otherwise.  Unlike :func:`kfopce_valid` this never raises on size; it
+    samples random structures, so ``None`` does not prove validity.
+    """
+    sentence = _closed(rename_apart(formula))
+    signature = signature_of([sentence])
+    universe = signature.universe(extra_parameters=config.extra_parameters)
+    atoms = relevant_atoms([sentence], universe=universe, config=config)
+    rng = random.Random(seed)
+
+    def random_world():
+        return World(a for a in atoms if rng.random() < 0.5)
+
+    for _ in range(samples):
+        world_set = frozenset(random_world() for _ in range(rng.randint(0, 4)))
+        world = random_world()
+        if not is_true(sentence, world, world_set, universe):
+            return world, world_set
+    return None
+
+
+def kfopce_equivalent(left, right, config=DEFAULT_CONFIG):
+    """Decide ``⊨_KFOPCE left ≡ right`` (after universal closure).
+
+    This is the premise of Corollary 4.1: KFOPCE-equivalent integrity
+    constraints are interchangeable for integrity maintenance.
+    """
+    return kfopce_valid(iff(_closed(left), _closed(right)), config=config)
+
+
+def kfopce_implies(premise, conclusion, config=DEFAULT_CONFIG):
+    """Decide ``premise ⊨_KFOPCE conclusion`` (via validity of the
+    implication between the universal closures)."""
+    return kfopce_valid(implies(_closed(premise), _closed(conclusion)), config=config)
+
+
+def kfopce_equivalent_under(constraint, left, right, config=DEFAULT_CONFIG):
+    """Decide ``constraint ⊨_KFOPCE forall x̄ (left ≡ right)``.
+
+    This is the premise of Corollary 4.2 (query optimisation): when the
+    database satisfies *constraint*, the queries *left* and *right* have the
+    same answers.  The free variables of *left* and *right* must coincide;
+    they are universally closed together so the equivalence is asserted for
+    every binding.
+    """
+    if free_variables(left) != free_variables(right):
+        raise ValueError(
+            "query equivalence requires both queries to have the same free variables"
+        )
+    return kfopce_valid(
+        implies(_closed(constraint), _closed(iff(left, right))), config=config
+    )

@@ -1,0 +1,121 @@
+"""Reduction of KFOPCE entailment to first-order theorem proving.
+
+Levesque proved (and the paper recalls in Section 5.1) that every KFOPCE
+query can be evaluated soundly and completely using only first-order theorem
+proving.  The reduction implemented here exploits two facts about the
+``⊨`` relation of Definition 2.1:
+
+* the truth value of ``K ψ`` in ``(W, ℳ(Σ))`` does not depend on W — it is
+  true exactly when ``Σ ⊨ ψ``;
+* once every ``K`` subformula of a *ground* sentence has been replaced by its
+  truth value, what remains is a ground first-order sentence, and
+  ``Σ ⊨ φ`` for first-order φ is exactly ``Σ ⊨_FOPCE φ``.
+
+So: ground the query over the active universe (which closes every ``K``
+body), replace ``K`` subformulas innermost-first by ``Top``/``Bottom``
+according to a recursive entailment check, and hand the resulting first-order
+sentence to the prover.  This is the scalable strategy used by
+:class:`repro.db.EpistemicDatabase`; the model-enumeration oracle of
+:mod:`repro.semantics.entailment` checks it on small instances in the test
+suite.
+"""
+
+from itertools import product
+
+from repro.logic.classify import is_first_order
+from repro.logic.substitution import Substitution
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    free_variables,
+)
+from repro.logic.transform import ground_quantifiers, simplify
+from repro.prover.prove import FirstOrderProver
+from repro.semantics.answers import Answer, AnswerStatus
+from repro.semantics.config import DEFAULT_CONFIG
+
+
+class EpistemicReducer:
+    """Evaluates KFOPCE sentences against a FOPCE database via the prover."""
+
+    def __init__(self, theory, universe=None, config=DEFAULT_CONFIG, prover=None, queries=()):
+        self.config = config
+        if prover is not None:
+            self.prover = prover
+            self.universe = tuple(prover.universe)
+        else:
+            if universe is None:
+                self.prover = FirstOrderProver.for_theory(theory, queries=queries, config=config)
+                self.universe = tuple(self.prover.universe)
+            else:
+                self.universe = tuple(universe)
+                self.prover = FirstOrderProver(theory, self.universe, config=config)
+        self.theory = tuple(self.prover.theory)
+
+    # -- entailment -------------------------------------------------------
+    def entails(self, sentence):
+        """Decide ``Σ ⊨ sentence`` for an arbitrary KFOPCE sentence."""
+        if free_variables(sentence):
+            raise ValueError("entails() expects a sentence; use answers() for open queries")
+        grounded = ground_quantifiers(sentence, self.universe)
+        reduced = simplify(self._resolve_know(grounded))
+        if isinstance(reduced, Top):
+            return True
+        if isinstance(reduced, Bottom):
+            return False
+        return self.prover.entails(reduced)
+
+    def _resolve_know(self, formula):
+        """Replace every ``K ψ`` subformula of the ground *formula* by its
+        truth value under Σ."""
+        if isinstance(formula, (Atom, Equals, Top, Bottom)):
+            return formula
+        if isinstance(formula, Know):
+            body = self._resolve_know(formula.body)
+            body = simplify(body)
+            if isinstance(body, Top):
+                return Top()
+            if isinstance(body, Bottom):
+                # K(false) holds only for an unsatisfiable database.
+                return Bottom() if self.prover.is_satisfiable() else Top()
+            if self.prover.entails(body):
+                return Top()
+            return Bottom()
+        if isinstance(formula, Not):
+            return Not(self._resolve_know(formula.body))
+        if isinstance(formula, (And, Or, Implies, Iff)):
+            return type(formula)(
+                self._resolve_know(formula.left), self._resolve_know(formula.right)
+            )
+        raise TypeError(f"quantifier survived grounding: {formula!r}")
+
+    # -- query answering --------------------------------------------------
+    def ask(self, sentence):
+        """Return yes / no / unknown for a KFOPCE sentence."""
+        if self.entails(sentence):
+            return Answer(AnswerStatus.YES)
+        if self.entails(Not(sentence)):
+            return Answer(AnswerStatus.NO)
+        return Answer(AnswerStatus.UNKNOWN)
+
+    def answers(self, query):
+        """Return the definite answers to an open KFOPCE query
+        (Definition 2.1)."""
+        free = sorted(free_variables(query), key=lambda v: v.name)
+        if not free:
+            return self.ask(query)
+        bindings = []
+        for values in product(self.universe, repeat=len(free)):
+            instance = Substitution(dict(zip(free, values))).apply(query)
+            if self.entails(instance):
+                bindings.append(values)
+        status = AnswerStatus.YES if bindings else AnswerStatus.UNKNOWN
+        return Answer(status, tuple(bindings), tuple(v.name for v in free))

@@ -1,0 +1,122 @@
+"""The KFOPCE truth recursion (Section 2).
+
+``is_true(w, world, worlds, universe)`` implements the five clauses of the
+paper's truth definition over a *finite* active universe:
+
+1. an atomic sentence is true iff it belongs to the world (equalities hold
+   exactly between identical parameters);
+2. ``~w`` is true iff *w* is not;
+3. ``w1 & w2`` is true iff both are;
+4. ``forall x. w`` is true iff ``w|p/x`` is true for every parameter *p* of
+   the universe (the finite stand-in for the paper's quantification over all
+   parameters);
+5. ``K w`` is true iff *w* is true in ``(S, 𝒮)`` for every ``S ∈ 𝒮``.
+
+``|``, ``->``, ``<->``, ``exists`` and the truth constants are evaluated by
+their usual definitions.  When the formula is first order its truth does not
+depend on ``𝒮`` and :func:`is_true_in_world` may be used instead.
+"""
+
+from repro.exceptions import NotASentenceError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    free_variables,
+)
+from repro.logic.transform import instantiate
+
+
+def is_true(formula, world, worlds, universe, know_cache=None):
+    """Evaluate the KFOPCE sentence *formula* in ``(world, worlds)`` with
+    quantifiers ranging over *universe*.
+
+    Raises :class:`NotASentenceError` when the formula has free variables —
+    open formulas must be instantiated before evaluation (the paper's
+    ``q|x̄/p̄`` notation).
+
+    *know_cache* may be a dict shared across calls that keep the same set of
+    worlds: the truth value of a ground ``K ψ`` subformula depends only on
+    that set (clause 5 of the truth recursion), so callers that evaluate one
+    query against every model — the Definition 2.1 entailment check — avoid
+    re-deciding each ``K`` subformula per model.
+    """
+    if free_variables(formula):
+        raise NotASentenceError(
+            f"cannot evaluate open formula {formula}; substitute parameters for "
+            "its free variables first"
+        )
+    return _truth(formula, world, frozenset(worlds), tuple(universe), know_cache)
+
+
+def is_true_in_world(formula, world, universe):
+    """Evaluate a *first-order* sentence in a single world.
+
+    The set of worlds is irrelevant for FOPCE sentences (the remark after the
+    truth recursion in Section 2), so none needs to be supplied.
+    """
+    return is_true(formula, world, frozenset(), universe)
+
+
+def _truth(formula, world, worlds, universe, know_cache=None):
+    if isinstance(formula, Atom):
+        return world.holds(formula)
+    if isinstance(formula, Equals):
+        return formula.left == formula.right
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Not):
+        return not _truth(formula.body, world, worlds, universe, know_cache)
+    if isinstance(formula, And):
+        return _truth(formula.left, world, worlds, universe, know_cache) and _truth(
+            formula.right, world, worlds, universe, know_cache
+        )
+    if isinstance(formula, Or):
+        return _truth(formula.left, world, worlds, universe, know_cache) or _truth(
+            formula.right, world, worlds, universe, know_cache
+        )
+    if isinstance(formula, Implies):
+        return (not _truth(formula.left, world, worlds, universe, know_cache)) or _truth(
+            formula.right, world, worlds, universe, know_cache
+        )
+    if isinstance(formula, Iff):
+        return _truth(formula.left, world, worlds, universe, know_cache) == _truth(
+            formula.right, world, worlds, universe, know_cache
+        )
+    if isinstance(formula, Forall):
+        return all(
+            _truth(instantiate(formula.body, formula.variable, p), world, worlds, universe, know_cache)
+            for p in universe
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _truth(instantiate(formula.body, formula.variable, p), world, worlds, universe, know_cache)
+            for p in universe
+        )
+    if isinstance(formula, Know):
+        # Clause 5 ignores the current world, so the verdict can be shared
+        # across every model the caller iterates over.
+        if know_cache is not None and formula in know_cache:
+            return know_cache[formula]
+        verdict = all(_truth(formula.body, s, worlds, universe, know_cache) for s in worlds)
+        if know_cache is not None:
+            know_cache[formula] = verdict
+        return verdict
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def theory_holds_in_world(theory, world, universe):
+    """Return True when every (first-order) sentence of *theory* is true in
+    *world* — i.e. the world is a model of the theory."""
+    return all(is_true_in_world(sentence, world, universe) for sentence in theory)

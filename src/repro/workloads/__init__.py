@@ -1,0 +1,39 @@
+"""Workloads: the paper's running examples and synthetic generators.
+
+* :mod:`repro.workloads.university` — the Section 1 teaching database and
+  its eleven queries with the paper's expected answers (experiment E1).
+* :mod:`repro.workloads.employees` — the Section 3 employee / social-security
+  scenario with its constraints in both first-order and modal readings
+  (experiments E2/E3/E8).
+* :mod:`repro.workloads.generators` — random elementary databases, normal
+  queries and relational instances used by the soundness, completeness and
+  scaling benchmarks (experiments E5/E6/E9).
+"""
+
+from repro.workloads.university import (
+    SECTION1_QUERIES,
+    university_database,
+    university_queries,
+)
+from repro.workloads.employees import (
+    employee_constraints,
+    employee_database,
+    employee_queries,
+)
+from repro.workloads.generators import (
+    random_elementary_database,
+    random_normal_query,
+    random_relational_instance,
+)
+
+__all__ = [
+    "SECTION1_QUERIES",
+    "employee_constraints",
+    "employee_database",
+    "employee_queries",
+    "random_elementary_database",
+    "random_normal_query",
+    "random_relational_instance",
+    "university_database",
+    "university_queries",
+]

@@ -1,0 +1,97 @@
+"""The Section 3 employee / social-security workload.
+
+Covers the scenarios the paper uses to argue that integrity constraints are
+epistemic:
+
+* ``DB1 = {emp(Mary)}`` — intuitively *violates* "every employee has a social
+  security number", yet satisfies the consistency definition 3.1;
+* ``DB2 = {}`` — intuitively *satisfies* the constraint, yet fails the
+  entailment definition 3.2;
+* a larger personnel database used by the constraint-library experiment (E3)
+  and the optimisation experiment (E8).
+"""
+
+from repro.constraints.library import (
+    disjoint_properties,
+    known_instances_typed,
+    mandatory_known_attribute,
+    mandatory_attribute,
+    total_property,
+    unique_attribute,
+)
+from repro.logic.parser import parse, parse_many
+
+#: The first-order social-security constraint, formula (1) of Section 3.
+SS_CONSTRAINT_FO_TEXT = "forall x. emp(x) -> exists y. ss(x, y)"
+
+#: The paper's modal reading of the same constraint.
+SS_CONSTRAINT_MODAL_TEXT = "forall x. K emp(x) -> exists y. K ss(x, y)"
+
+#: A personnel database with one well-recorded employee, one missing number
+#: and some typing information.
+PERSONNEL_TEXT = """
+emp(Mary)
+emp(Bill)
+person(Mary); person(Bill); person(Ann)
+female(Mary); female(Ann)
+male(Bill)
+ss(Bill, n123)
+mother(Ann, Bill)
+"""
+
+
+def ss_constraint_first_order():
+    """Formula (1): the classical first-order reading."""
+    return parse(SS_CONSTRAINT_FO_TEXT)
+
+
+def ss_constraint_modal():
+    """The paper's epistemic reading of formula (1)."""
+    return parse(SS_CONSTRAINT_MODAL_TEXT)
+
+
+def employee_database(which="violating"):
+    """Return one of the Section 3 databases.
+
+    * ``"violating"`` — ``{emp(Mary)}``: an employee with no recorded number;
+    * ``"empty"`` — ``{}``: nothing recorded at all;
+    * ``"personnel"`` — the larger mixed database used by E3/E8.
+    """
+    if which == "violating":
+        return parse_many("emp(Mary)")
+    if which == "empty":
+        return []
+    if which == "personnel":
+        return parse_many(PERSONNEL_TEXT)
+    raise ValueError(f"unknown employee database {which!r}")
+
+
+def employee_constraints():
+    """The Section 3 example constraints (Examples 3.1–3.5) instantiated for
+    the personnel schema, as a name → formula mapping."""
+    return {
+        "every known employee is a known person": parse("forall x. K emp(x) -> K person(x)"),
+        "known mothers are known female": parse("forall x, y. K mother(x, y) -> K female(x)"),
+        "every known employee has a known ss#": mandatory_known_attribute("emp", "ss"),
+        "every known employee has some ss#": mandatory_attribute("emp", "ss"),
+        "male and female are disjoint": disjoint_properties("male", "female"),
+        "every known person has a known sex": total_property("person", "male", "female"),
+        "known mothers are typed": known_instances_typed("mother", ("person", "female"), ("person",)),
+        "ss# is unique": unique_attribute("ss"),
+    }
+
+
+def employee_queries():
+    """Queries used by the optimisation experiment: each pair is
+    ``(original, hand-optimised)`` where the second is equivalent under the
+    registered constraints."""
+    return [
+        (
+            parse("K emp(?x) & K person(?x)"),
+            parse("K emp(?x)"),
+        ),
+        (
+            parse("K mother(?x, ?y) & K female(?x)"),
+            parse("K mother(?x, ?y)"),
+        ),
+    ]

@@ -1,0 +1,150 @@
+"""Synthetic workload generators.
+
+Used by the randomized soundness experiment (E5), the completeness/scaling
+experiment (E6) and the ablation benchmarks (E9).  All generators take an
+explicit ``seed`` so that benchmark rows are reproducible run to run.
+"""
+
+import random
+
+from repro.logic.builders import conj, disj, exists, forall, implies, knows
+from repro.logic.syntax import Atom, Not
+from repro.logic.terms import Parameter, Variable
+from repro.relational.schema import RelationalDatabase, RelationSchema
+
+
+def _rng(seed):
+    return random.Random(seed)
+
+
+def random_elementary_database(
+    facts=20,
+    rules=3,
+    predicates=("p", "q", "r"),
+    parameters=8,
+    disjunction_rate=0.15,
+    existential_rate=0.1,
+    seed=0,
+):
+    """Generate a random elementary database (Definition 6.3).
+
+    The result is a list of FOPCE sentences: ground atoms, occasional ground
+    disjunctions and existential sentences (keeping the theory elementary),
+    plus range-restricted rules of the shape ``∀x. p(x) ⊃ q(x)`` /
+    ``∀x,y. p(x) ∧ q(y) ⊃ r(x, y)``.
+    """
+    rng = _rng(seed)
+    constants = [Parameter(f"c{i}") for i in range(parameters)]
+    unary = list(predicates[:2])
+    binary = predicates[2] if len(predicates) > 2 else None
+    sentences = []
+    for _ in range(facts):
+        roll = rng.random()
+        if binary is not None and roll < 0.4:
+            atom = Atom(binary, (rng.choice(constants), rng.choice(constants)))
+        else:
+            atom = Atom(rng.choice(unary), (rng.choice(constants),))
+        if rng.random() < disjunction_rate:
+            other = Atom(rng.choice(unary), (rng.choice(constants),))
+            sentences.append(disj([atom, other]))
+        elif rng.random() < existential_rate:
+            variable = Variable("w")
+            predicate = rng.choice(unary)
+            sentences.append(exists("w", Atom(predicate, (variable,))))
+        else:
+            sentences.append(atom)
+    x, y = Variable("x"), Variable("y")
+    rule_shapes = []
+    if len(unary) >= 2:
+        rule_shapes.append(forall("x", implies(Atom(unary[0], (x,)), Atom(unary[1], (x,)))))
+    if binary is not None and len(unary) >= 2:
+        rule_shapes.append(
+            forall(
+                ["x", "y"],
+                implies(conj([Atom(unary[0], (x,)), Atom(unary[1], (y,))]), Atom(binary, (x, y))),
+            )
+        )
+        rule_shapes.append(
+            forall(["x", "y"], implies(Atom(binary, (x, y)), Atom(unary[1], (y,))))
+        )
+    for index in range(min(rules, len(rule_shapes))):
+        sentences.append(rule_shapes[index])
+    return sentences
+
+
+def random_normal_query(
+    literals=3,
+    predicates=("p", "q", "r"),
+    parameters=8,
+    variables=2,
+    negation_rate=0.3,
+    seed=0,
+):
+    """Generate a random *safe normal query* (Section 5.2): a conjunction of
+    first-order literals, K-literals and negated K-literals whose first
+    conjunct is a positive first-order atom binding every variable used by
+    the negative conjuncts."""
+    rng = _rng(seed)
+    constants = [Parameter(f"c{i}") for i in range(parameters)]
+    query_variables = [Variable(f"v{i}") for i in range(max(1, variables))]
+    unary = list(predicates[:2])
+    binary = predicates[2] if len(predicates) > 2 else None
+
+    def random_term(allow_variable=True):
+        if allow_variable and rng.random() < 0.6:
+            return rng.choice(query_variables)
+        return rng.choice(constants)
+
+    # A positive binder first, mentioning every variable.
+    if binary is not None and len(query_variables) >= 2:
+        binder = Atom(binary, (query_variables[0], query_variables[1]))
+    else:
+        binder = Atom(rng.choice(unary), (query_variables[0],))
+    conjuncts = [knows(binder)]
+    for _ in range(max(0, literals - 1)):
+        if binary is not None and rng.random() < 0.4:
+            atom = Atom(binary, (random_term(), random_term()))
+        else:
+            atom = Atom(rng.choice(unary), (random_term(),))
+        if rng.random() < negation_rate:
+            conjuncts.append(Not(knows(atom)))
+        else:
+            conjuncts.append(knows(atom))
+    return conj(conjuncts)
+
+
+def random_relational_instance(rows=50, width=3, distinct_values=20, seed=0, name="R"):
+    """Generate a single-relation instance for the relational/CWA benchmarks."""
+    rng = _rng(seed)
+    schema = RelationSchema(name, tuple(f"a{i+1}" for i in range(width)))
+    database = RelationalDatabase([schema])
+    for _ in range(rows):
+        database.insert(name, *(f"v{rng.randrange(distinct_values)}" for _ in range(width)))
+    return database
+
+
+def chain_datalog_program(length=50, fanout=1, seed=0):
+    """Generate the classic transitive-closure workload: an ``edge`` chain of
+    the given *length* (with optional extra random edges) plus the two
+    ``path`` rules.  Used by the naive vs semi-naive ablation (E9)."""
+    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    nodes = [Parameter(f"n{i}") for i in range(length + 1)]
+    for i in range(length):
+        program.add_fact(Atom("edge", (nodes[i], nodes[i + 1])))
+    for _ in range(fanout * length // 10):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        program.add_fact(Atom("edge", (a, b)))
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    program.add_rule(
+        DatalogRule(Atom("path", (x, y)), (DatalogLiteral(Atom("edge", (x, y))),))
+    )
+    program.add_rule(
+        DatalogRule(
+            Atom("path", (x, z)),
+            (DatalogLiteral(Atom("edge", (x, y))), DatalogLiteral(Atom("path", (y, z)))),
+        )
+    )
+    return program

@@ -1,0 +1,90 @@
+"""The Section 1 university database and its query/answer listing.
+
+The database::
+
+    Teach(John, Math)
+    (∃x) Teach(x, CS)
+    Teach(Mary, Psych) ∨ Teach(Sue, Psych)
+
+and the eleven queries of the introduction with the paper's expected
+answers.  This is experiment E1's workload; the test-suite and the E1 bench
+both assert the reproduced answers against the expectations recorded here.
+"""
+
+from repro.logic.parser import parse, parse_many
+
+#: The database as surface-syntax text (kept as text so examples and docs can
+#: show it verbatim).
+UNIVERSITY_TEXT = """
+Teach(John, Math)
+exists x. Teach(x, CS)
+Teach(Mary, Psych) | Teach(Sue, Psych)
+"""
+
+#: The Section 1 listing: (query text, paper's description, expected answer).
+SECTION1_QUERIES = (
+    ("Teach(Mary, CS)", "is Teach(Mary, CS) true in the external world?", "unknown"),
+    ("K Teach(Mary, CS)", "do you know that Mary teaches CS?", "no"),
+    ("K ~Teach(Mary, CS)", "do you know that Mary does not teach CS?", "no"),
+    (
+        "exists x. K Teach(John, x)",
+        "is there a known course which John teaches?",
+        "yes",
+    ),
+    ("exists x. K Teach(x, CS)", "is there a known teacher for CS?", "no"),
+    (
+        "K exists x. Teach(x, CS)",
+        "is someone known to teach CS without being a known individual?",
+        "yes",
+    ),
+    ("exists x. Teach(x, Psych)", "does someone teach Psych?", "yes"),
+    ("exists x. K Teach(x, Psych)", "is there a known teacher of Psych?", "no"),
+    (
+        "exists x. Teach(x, Psych) & ~Teach(x, CS)",
+        "is there anyone who teaches Psych and not CS?",
+        "unknown",
+    ),
+    (
+        "exists x. Teach(x, Psych) & ~K Teach(x, CS)",
+        "does anyone teach Psych who is not known to teach CS?",
+        "yes",
+    ),
+    (
+        "K (Teach(Mary, Psych) | Teach(Sue, Psych))",
+        "do you know that Mary or Sue teaches Psych?",
+        "yes",
+    ),
+)
+
+#: The "do you know whether p" pattern from the propositional warm-up example
+#: Σ = {p ∨ q} at the very start of the introduction.
+PROPOSITIONAL_TEXT = "p | q"
+PROPOSITIONAL_QUERIES = (
+    ("p", "is p true in the external world?", "unknown"),
+    ("K p", "do you know that p is true?", "no"),
+    ("K p | K ~p", "do you know whether p?", "no"),
+)
+
+
+def university_database():
+    """Return the Section 1 database as a list of FOPCE sentences."""
+    return parse_many(UNIVERSITY_TEXT)
+
+
+def university_queries():
+    """Return the Section 1 queries as ``(formula, description, expected)``
+    triples."""
+    return [(parse(text), description, expected) for text, description, expected in SECTION1_QUERIES]
+
+
+def propositional_database():
+    """Return the introductory Σ = {p ∨ q} example."""
+    return parse_many(PROPOSITIONAL_TEXT)
+
+
+def propositional_queries():
+    """Return the three propositional warm-up queries."""
+    return [
+        (parse(text), description, expected)
+        for text, description, expected in PROPOSITIONAL_QUERIES
+    ]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.logic.parser import parse, parse_many
+from repro.semantics.config import SemanticsConfig
+from repro.workloads.employees import employee_database
+from repro.workloads.university import university_database
+
+
+@pytest.fixture
+def small_config():
+    """A configuration with a single fresh witness — keeps the exhaustive
+    oracles fast in unit tests that do not need two unknown individuals."""
+    return SemanticsConfig(extra_parameters=1)
+
+
+@pytest.fixture
+def default_config():
+    return SemanticsConfig()
+
+
+@pytest.fixture
+def university():
+    """The Section 1 teaching database."""
+    return university_database()
+
+
+@pytest.fixture
+def personnel():
+    """The larger Section 3 personnel database."""
+    return employee_database("personnel")
+
+
+@pytest.fixture
+def parse_formula():
+    """Expose the parser to tests as a fixture for brevity."""
+    return parse
+
+
+@pytest.fixture
+def parse_theory():
+    return parse_many

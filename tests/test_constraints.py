@@ -1,0 +1,255 @@
+"""Tests for the constraints subpackage: the five satisfaction definitions,
+modalization, the library, the checker and triggers."""
+
+import pytest
+
+from repro.exceptions import NotFirstOrderError
+from repro.logic.builders import atom
+from repro.logic.classify import is_admissible, is_k1, is_subjective
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter
+from repro.logic.transform import to_admissible_form
+from repro.constraints.checker import IntegrityChecker
+from repro.constraints.definitions import (
+    SatisfactionDefinition,
+    satisfies,
+    satisfies_completion_consistency,
+    satisfies_completion_entailment,
+    satisfies_consistency,
+    satisfies_entailment,
+    satisfies_epistemic,
+)
+from repro.constraints.library import (
+    disjoint_properties,
+    known_instances_typed,
+    mandatory_attribute,
+    mandatory_known_attribute,
+    referential_integrity,
+    total_property,
+    unique_attribute,
+)
+from repro.constraints.modalize import demodalize_constraint, modalize_constraint
+from repro.constraints.triggers import TriggerManager
+from repro.datalog.program import DatalogProgram
+from repro.semantics.config import SemanticsConfig
+from repro.workloads.employees import (
+    employee_database,
+    ss_constraint_first_order,
+    ss_constraint_modal,
+)
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+class TestSectionThreeCounterexamples:
+    """The exact analysis of Section 3: Definitions 3.1 and 3.2 clash with
+    intuition on the social-security constraint; Definition 3.5 matches it."""
+
+    def test_definition_3_1_wrongly_accepts_missing_number(self):
+        db = employee_database("violating")  # {emp(Mary)}
+        assert satisfies_consistency(db, ss_constraint_first_order(), config=CONFIG)
+
+    def test_definition_3_2_wrongly_rejects_empty_database(self):
+        db = employee_database("empty")
+        assert not satisfies_entailment(db, ss_constraint_first_order(), config=CONFIG)
+
+    def test_definition_3_5_matches_intuition(self):
+        modal = ss_constraint_modal()
+        assert not satisfies_epistemic(employee_database("violating"), modal, config=CONFIG)
+        assert satisfies_epistemic(employee_database("empty"), modal, config=CONFIG)
+
+    def test_definition_3_5_accepts_recorded_number(self):
+        db = parse_many("emp(Bill); ss(Bill, n123)")
+        assert satisfies_epistemic(db, ss_constraint_modal(), config=CONFIG)
+
+    def test_completion_definitions_are_not_equivalent(self):
+        # With ss absent from the program, the completion leaves ss open:
+        # Definition 3.3 (consistency) accepts, Definition 3.4 (entailment)
+        # rejects — the paper's footnote that the two are not equivalent.
+        program = DatalogProgram()
+        program.add_fact(atom("emp", "Mary"))
+        constraint = ss_constraint_first_order()
+        assert satisfies_completion_consistency(program, constraint, config=CONFIG)
+        assert not satisfies_completion_entailment(program, constraint, config=CONFIG)
+
+    def test_completion_definitions_on_closed_ss_relation(self):
+        # Once ss is mentioned by the program its completion closes it, so
+        # Mary provably has no number and both definitions reject.
+        program = DatalogProgram()
+        program.add_fact(atom("emp", "Mary"))
+        program.add_fact(atom("emp", "Bob"))
+        program.add_fact(atom("ss", "Bob", "n777"))
+        constraint = ss_constraint_first_order()
+        assert not satisfies_completion_consistency(program, constraint, config=CONFIG)
+        assert not satisfies_completion_entailment(program, constraint, config=CONFIG)
+
+    def test_completion_definitions_accept_recorded_number(self):
+        program = DatalogProgram()
+        program.add_fact(atom("emp", "Bill"))
+        program.add_fact(atom("ss", "Bill", "n123"))
+        constraint = ss_constraint_first_order()
+        assert satisfies_completion_consistency(program, constraint, config=CONFIG)
+        assert satisfies_completion_entailment(program, constraint, config=CONFIG)
+
+    def test_dispatch(self):
+        db = employee_database("violating")
+        assert satisfies(db, ss_constraint_first_order(), SatisfactionDefinition.CONSISTENCY, config=CONFIG)
+        assert not satisfies(db, ss_constraint_modal(), SatisfactionDefinition.EPISTEMIC, config=CONFIG)
+
+    def test_first_order_definitions_reject_modal_constraints(self):
+        with pytest.raises(NotFirstOrderError):
+            satisfies_consistency([], ss_constraint_modal(), config=CONFIG)
+        with pytest.raises(NotFirstOrderError):
+            satisfies_entailment([], ss_constraint_modal(), config=CONFIG)
+
+
+class TestModalize:
+    def test_modalizes_formula_1_to_example_3_1(self):
+        assert modalize_constraint(ss_constraint_first_order()) == ss_constraint_modal()
+
+    def test_known_witness_false_gives_example_3_4(self):
+        result = modalize_constraint(ss_constraint_first_order(), known_witness=False)
+        assert result == parse("forall x. K emp(x) -> K (exists y. ss(x, y))")
+
+    def test_result_is_subjective_k1(self):
+        result = modalize_constraint(parse("forall x, y. r(x, y) -> p(x) | p(y)"))
+        assert is_subjective(result) and is_k1(result)
+
+    def test_rejects_modal_input(self):
+        with pytest.raises(NotFirstOrderError):
+            modalize_constraint(ss_constraint_modal())
+
+    def test_demodalize_round_trip(self):
+        assert demodalize_constraint(ss_constraint_modal()) == ss_constraint_first_order()
+
+
+class TestLibrary:
+    def test_templates_match_paper_examples(self):
+        assert mandatory_known_attribute("emp", "ss") == parse(
+            "forall x. K emp(x) -> exists y. K ss(x, y)"
+        )
+        assert mandatory_attribute("emp", "ss") == parse(
+            "forall x. K emp(x) -> K exists y. ss(x, y)"
+        )
+        assert disjoint_properties("male", "female") == parse(
+            "forall x. ~K (male(x) & female(x))"
+        )
+        assert total_property("person", "male", "female") == parse(
+            "forall x. K person(x) -> (K male(x) | K female(x))"
+        )
+        assert known_instances_typed("mother", ("person", "female"), ("person",)) == parse(
+            "forall x, y. K mother(x, y) -> K (person(x) & female(x) & person(y))"
+        )
+        assert unique_attribute("ss") == parse(
+            "forall x, y, z. (K ss(x, y) & K ss(x, z)) -> K y = z"
+        )
+
+    def test_referential_integrity_template(self):
+        constraint = referential_integrity("Teach", 1, "course")
+        assert constraint == parse("forall x1, x2. K Teach(x1, x2) -> K course(x2)")
+
+    def test_all_templates_become_admissible(self):
+        templates = [
+            mandatory_known_attribute("emp", "ss"),
+            mandatory_attribute("emp", "ss"),
+            disjoint_properties("male", "female"),
+            total_property("person", "male", "female"),
+            known_instances_typed("mother", ("person", "female"), ("person",)),
+            unique_attribute("ss"),
+            referential_integrity("Teach", 1, "course"),
+        ]
+        for constraint in templates:
+            assert is_subjective(constraint)
+            assert is_admissible(to_admissible_form(constraint))
+
+
+class TestChecker:
+    def test_satisfied_report(self):
+        checker = IntegrityChecker([mandatory_known_attribute("emp", "ss")], config=CONFIG)
+        report = checker.check(parse_many("emp(Bill); ss(Bill, n123)"))
+        assert report.satisfied and bool(report) and report.checked == 1
+
+    def test_violation_with_witness(self):
+        checker = IntegrityChecker([mandatory_known_attribute("emp", "ss")], config=CONFIG)
+        report = checker.check(parse_many("emp(Mary); emp(Bill); ss(Bill, n123)"))
+        assert not report.satisfied
+        violation = report.violations[0]
+        assert (Parameter("Mary"),) in violation.witnesses
+        assert "Mary" in str(violation)
+
+    def test_multiple_constraints(self):
+        checker = IntegrityChecker(
+            [disjoint_properties("male", "female"), total_property("person", "male", "female")],
+            config=CONFIG,
+        )
+        report = checker.check(parse_many("person(Ann); male(Ann); female(Ann)"))
+        assert not report.satisfied
+        assert len(report.violations) == 1  # only disjointness fails
+
+    def test_demo_strategy_agrees_with_reduction(self):
+        theory = parse_many("emp(Mary); emp(Bill); ss(Bill, n123)")
+        constraint = mandatory_known_attribute("emp", "ss")
+        reduction = IntegrityChecker([constraint], config=CONFIG, strategy="reduction")
+        demo = IntegrityChecker([constraint], config=CONFIG, strategy="demo")
+        assert reduction.check(theory).satisfied == demo.check(theory).satisfied
+
+    def test_incremental_check_only_touches_relevant_constraints(self):
+        constraints = [
+            mandatory_known_attribute("emp", "ss"),
+            disjoint_properties("male", "female"),
+        ]
+        checker = IntegrityChecker(constraints, config=CONFIG)
+        theory = parse_many("emp(Bill); ss(Bill, n123)")
+        report, updated = checker.check_update(theory, added=[parse("male(Bill)")])
+        assert report.satisfied
+        assert report.checked == 1  # only the male/female constraint mentions 'male'
+        assert parse("male(Bill)") in updated
+
+    def test_add_remove(self):
+        checker = IntegrityChecker(config=CONFIG)
+        constraint = checker.add(disjoint_properties("male", "female"))
+        checker.remove(constraint)
+        assert checker.check(parse_many("male(a); female(a)")).satisfied
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            IntegrityChecker(strategy="quantum")
+
+
+class TestTriggers:
+    def test_trigger_fires_with_witnesses(self):
+        from repro.db.database import EpistemicDatabase
+
+        seen = []
+
+        def remind(session, witnesses):
+            seen.extend(witnesses)
+            return []
+
+        db = EpistemicDatabase(parse_many("emp(Mary)"), config=CONFIG)
+        db.triggers.register(
+            "missing-ss", parse("K emp(?x) & ~K (exists y. ss(?x, y))"), remind
+        )
+        db.tell("emp(Bill)")
+        assert (Parameter("Mary"),) in seen or (Parameter("Bill"),) in seen
+
+    def test_trigger_cascade_asserts_and_refires(self):
+        from repro.db.database import EpistemicDatabase
+
+        def assign_number(session, witnesses):
+            return [parse(f"ss({witnesses[0][0].name}, n000)")]
+
+        db = EpistemicDatabase(config=CONFIG)
+        db.triggers.register(
+            "auto-ss", parse("K emp(?x) & ~K (exists y. ss(?x, y))"), assign_number
+        )
+        db.tell("emp(Mary)")
+        assert db.ask("K ss(Mary, n000)").is_yes
+
+    def test_disable_trigger(self):
+        manager = TriggerManager(config=CONFIG)
+        manager.register("t", parse("K p"), lambda session, w: [])
+        manager.enable("t", False)
+        assert not manager.triggers[0].enabled
+        with pytest.raises(Exception):
+            manager.enable("missing", True)

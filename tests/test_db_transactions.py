@@ -1,0 +1,90 @@
+"""Tests for transactional (batched) updates."""
+
+import pytest
+
+from repro.exceptions import ConstraintViolationError
+from repro.logic.parser import parse
+from repro.constraints.library import mandatory_known_attribute
+from repro.db.database import EpistemicDatabase
+from repro.semantics.config import SemanticsConfig
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+def guarded_database():
+    db = EpistemicDatabase.from_text("emp(Bill); ss(Bill, n1)", config=CONFIG)
+    db.add_constraint(mandatory_known_attribute("emp", "ss"))
+    return db
+
+
+class TestTransaction:
+    def test_batch_satisfying_net_state_commits(self):
+        db = guarded_database()
+        # Individually the first assertion would violate; as a batch it is fine.
+        with db.transaction() as txn:
+            txn.tell("emp(Mary)")
+            txn.tell("ss(Mary, n2)")
+        assert parse("emp(Mary)") in db
+        assert db.check_constraints().satisfied
+
+    def test_violating_batch_rolls_back(self):
+        db = guarded_database()
+        transaction = db.transaction().tell("emp(Mary)")
+        with pytest.raises(ConstraintViolationError):
+            transaction.commit()
+        assert parse("emp(Mary)") not in db
+        assert db.check_constraints().satisfied
+
+    def test_batch_with_retraction(self):
+        db = guarded_database()
+        with db.transaction() as txn:
+            txn.retract("emp(Bill)")
+            txn.retract("ss(Bill, n1)")
+        assert len(db) == 0
+
+    def test_retraction_that_breaks_constraint_is_rejected(self):
+        db = guarded_database()
+        transaction = db.transaction().retract("ss(Bill, n1)")
+        with pytest.raises(ConstraintViolationError):
+            transaction.commit()
+        assert parse("ss(Bill, n1)") in db
+
+    def test_exception_inside_with_block_discards_changes(self):
+        db = guarded_database()
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn.tell("ss(Mary, n2)")
+                raise RuntimeError("boom")
+        assert parse("ss(Mary, n2)") not in db
+
+    def test_double_commit_rejected(self):
+        db = EpistemicDatabase(config=CONFIG)
+        transaction = db.transaction().tell("p(a)")
+        transaction.commit()
+        with pytest.raises(RuntimeError):
+            transaction.commit()
+
+    def test_rollback_then_exit_does_not_apply(self):
+        db = EpistemicDatabase(config=CONFIG)
+        with db.transaction() as txn:
+            txn.tell("p(a)")
+            txn.rollback()
+        assert len(db) == 0
+
+    def test_pending_view(self):
+        db = EpistemicDatabase(config=CONFIG)
+        txn = db.transaction().tell("p(a)").retract("q(a)")
+        additions, retractions = txn.pending
+        assert [str(a) for a in additions] == ["p(a)"]
+        assert [str(r) for r in retractions] == ["q(a)"]
+        txn.rollback()
+
+    def test_triggers_fire_after_commit(self):
+        seen = []
+        db = EpistemicDatabase(config=CONFIG)
+        db.triggers.register(
+            "notice-new-emp", parse("K emp(?x)"), lambda session, witnesses: seen.extend(witnesses)
+        )
+        with db.transaction() as txn:
+            txn.tell("emp(Zoe)")
+        assert seen

@@ -1,0 +1,130 @@
+"""Tests for Section 6: Instances, almost-admissibility, elementary
+databases and the completeness report."""
+
+import pytest
+
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter
+from repro.evaluator.completeness import (
+    demo_is_complete_for,
+    elementary_family,
+    first_order_family,
+    is_admissible_wrt,
+    is_almost_admissible,
+)
+from repro.evaluator.demo import DemoEvaluator
+from repro.evaluator.all_answers import all_answers
+from repro.evaluator.instances import instances, instances_are_finite
+from repro.semantics.config import SemanticsConfig
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+ELEMENTARY = """
+p(a); p(b)
+q(b) | q(c)
+exists x. r(x, x)
+forall x. p(x) -> s(x)
+"""
+
+
+class TestInstances:
+    def test_instances_of_first_order_formula(self):
+        theory = parse_many("p(a); p(b)")
+        assert instances(parse("p(?x)"), theory, config=CONFIG) == {
+            (Parameter("a"),),
+            (Parameter("b"),),
+        }
+
+    def test_instances_of_modal_formula(self):
+        theory = parse_many("p(a); p(b) | p(c)")
+        assert instances(parse("K p(?x)"), theory, config=CONFIG) == {(Parameter("a"),)}
+
+    def test_instances_of_sentence(self):
+        theory = parse_many("p(a)")
+        assert instances(parse("K p(a)"), theory, config=CONFIG) == {()}
+        assert instances(parse("K p(b)"), theory, config=CONFIG) == set()
+
+    def test_instances_are_finite_for_elementary_queries(self):
+        theory = parse_many(ELEMENTARY)
+        assert instances_are_finite(parse("p(?x)"), theory, config=CONFIG)
+
+    def test_instances_not_confined_for_negative_queries(self):
+        # ~K p(x) holds for every parameter, including fresh witnesses, so the
+        # answers are not confined to the parameters of Σ.
+        theory = parse_many("p(a)")
+        assert not instances_are_finite(parse("~K q(?x)"), theory, config=CONFIG)
+
+
+class TestFamilies:
+    def test_elementary_family_membership(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        assert parse("p(?x)") in family
+        assert parse("p(?x) & q(?x)") in family
+        assert parse("exists y. r(?x, y)") in family
+        assert parse("a = b") in family
+        assert parse("a != b") in family
+        assert parse("?x = a") in family
+        assert parse("~p(?x)") not in family
+        assert parse("K p(?x)") not in family
+        assert parse("p(?x) | q(?y)") not in family  # not disjunctively linked
+
+    def test_elementary_family_requires_elementary_theory(self):
+        with pytest.raises(ValueError):
+            elementary_family(parse_many("~p(a)"))
+
+    def test_custom_family(self):
+        family = first_order_family(lambda f: f == parse("p(a)"))
+        assert parse("p(a)") in family
+        assert parse("p(b)") not in family
+
+
+class TestAlmostAdmissible:
+    def test_members_are_almost_admissible(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        assert is_almost_admissible(parse("p(?x)"), family)
+
+    def test_k_and_conjunction(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        assert is_almost_admissible(parse("K p(?x) & K q(?x)"), family)
+
+    def test_negation_requires_subjective_sentence(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        assert is_almost_admissible(parse("~K p(a)"), family)
+        assert not is_almost_admissible(parse("~K p(?x)"), family)
+
+    def test_exists_requires_subjective_scope(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        assert is_almost_admissible(parse("exists x. K p(x)"), family)
+        assert not is_almost_admissible(parse("exists x. (p(x) & K q(x))"), family)
+
+    def test_admissible_wrt_needs_distinct_variables(self):
+        family = elementary_family(parse_many(ELEMENTARY))
+        good = parse("exists x. K p(x)")
+        bad = parse("exists x. (K (exists x. p(x)) & K q(x))")
+        assert is_admissible_wrt(good, family)
+        assert not is_admissible_wrt(bad, family)
+
+
+class TestCompletenessReport:
+    def test_complete_case(self):
+        report = demo_is_complete_for(parse("K p(?x) & ~K q(?x)"), parse_many(ELEMENTARY))
+        assert report.complete
+
+    def test_non_elementary_database(self):
+        report = demo_is_complete_for(parse("K p(?x)"), parse_many("~p(a)"))
+        assert not report.complete
+        assert "elementary" in report.reason
+
+    def test_query_outside_family(self):
+        report = demo_is_complete_for(parse("exists x. (p(x) & K q(x))"), parse_many(ELEMENTARY))
+        assert not report.complete
+
+    def test_complete_queries_terminate_with_all_answers(self):
+        theory = parse_many(ELEMENTARY)
+        query = parse("K s(?x) & ~K q(?x)")
+        report = demo_is_complete_for(query, theory)
+        assert report.complete
+        evaluator = DemoEvaluator(theory, config=CONFIG, queries=[query])
+        answers = all_answers(evaluator, query)
+        # s(a), s(b) derived by the rule; q is only disjunctively known.
+        assert answers == {(Parameter("a"),), (Parameter("b"),)}

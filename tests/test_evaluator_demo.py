@@ -1,0 +1,147 @@
+"""Tests for the demo meta-evaluator (Section 5)."""
+
+import pytest
+
+from repro.exceptions import EvaluationDepthError, NotAdmissibleError, UnsatisfiableTheoryError
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter, Variable
+from repro.evaluator.demo import DemoEvaluator
+from repro.evaluator.all_answers import all_answers, answers_by_forced_failure
+from repro.semantics.config import SemanticsConfig
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+UNIVERSITY = """
+Teach(John, Math)
+exists x. Teach(x, CS)
+Teach(Mary, Psych) | Teach(Sue, Psych)
+"""
+
+PERSONNEL = """
+emp(Mary); emp(Bill)
+ss(Bill, n123)
+person(Mary); person(Bill)
+"""
+
+
+def evaluator_for(text, queries=()):
+    return DemoEvaluator(parse_many(text), config=CONFIG, queries=[parse(q) for q in queries])
+
+
+class TestBasicClauses:
+    def test_first_order_clause_delegates_to_prove(self):
+        ev = evaluator_for("P(a)")
+        assert ev.succeeds(parse("P(a)"))
+        assert not ev.succeeds(parse("P(b)"))
+
+    def test_know_clause(self):
+        ev = evaluator_for("P(a)")
+        assert ev.succeeds(parse("K P(a)"))
+        assert not ev.succeeds(parse("K P(b)"))
+
+    def test_negation_as_failure(self):
+        ev = evaluator_for("P(a)")
+        assert ev.succeeds(parse("~K P(b)"))
+        assert not ev.succeeds(parse("~K P(a)"))
+
+    def test_exists_clause_projects_binding(self):
+        ev = evaluator_for(UNIVERSITY, queries=["exists x. K Teach(John, x)"])
+        solution = ev.first_solution(parse("exists x. K Teach(John, x)"))
+        assert solution is not None and len(solution) == 0
+
+    def test_conjunction_flows_bindings_left_to_right(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x) & K ss(?x, ?y)"])
+        solutions = ev.solutions(parse("K emp(?x) & K ss(?x, ?y)"))
+        assert len(solutions) == 1
+        assert solutions[0][Variable("x")] == Parameter("Bill")
+        assert solutions[0][Variable("y")] == Parameter("n123")
+
+    def test_success_binds_all_free_variables(self):
+        # Lemma 5.4.
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x)"])
+        for solution in ev.demo(parse("K emp(?x)")):
+            assert Variable("x") in solution
+
+    def test_open_normal_query_answers(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x) & ~K (exists y. ss(?x, y))"])
+        found = all_answers(ev, parse("K emp(?x) & ~K (exists y. ss(?x, y))"))
+        assert found == {(Parameter("Mary"),)}
+
+
+class TestValidation:
+    def test_rejects_non_admissible_queries(self):
+        ev = evaluator_for(UNIVERSITY)
+        with pytest.raises(NotAdmissibleError):
+            ev.succeeds(parse("exists x. Teach(x, Psych) & ~K Teach(x, CS)"))
+
+    def test_validation_can_be_disabled(self):
+        ev = evaluator_for(UNIVERSITY, queries=["exists x. Teach(x, Psych) & ~K Teach(x, CS)"])
+        # The paper's soundness theorem does not cover this query, but the
+        # operational semantics still runs it when validation is off.
+        assert ev.succeeds(
+            parse("exists x. Teach(x, Psych) & ~K Teach(x, CS)"), validate=False
+        ) in (True, False)
+
+    def test_unknown_connective_without_validation_raises(self):
+        ev = evaluator_for("P(a)")
+        with pytest.raises(NotAdmissibleError):
+            list(ev.demo(parse("K P(a) | K P(b)"), validate=False))
+
+    def test_require_satisfiable(self):
+        ev = evaluator_for("P(a); ~P(a)")
+        with pytest.raises(UnsatisfiableTheoryError):
+            list(ev.demo(parse("K P(a)"), require_satisfiable=True))
+
+    def test_step_budget(self):
+        ev = DemoEvaluator(parse_many(PERSONNEL), config=CONFIG, max_steps=2)
+        with pytest.raises(EvaluationDepthError):
+            list(ev.demo(parse("K emp(?x) & K person(?x) & K ss(?x, ?y)")))
+
+
+class TestSectionOneQueries:
+    """demo agrees with the paper on every admissible Section 1 query."""
+
+    EXPECTED_SUCCESS = [
+        ("K Teach(John, Math)", True),
+        ("K Teach(Mary, CS)", False),
+        ("K ~Teach(Mary, CS)", False),
+        ("exists x. K Teach(John, x)", True),
+        ("exists x. K Teach(x, CS)", False),
+        ("K exists x. Teach(x, CS)", True),
+        ("exists x. Teach(x, Psych)", True),
+        ("exists x. K Teach(x, Psych)", False),
+        ("exists x. Teach(x, Psych) & ~Teach(x, CS)", False),
+    ]
+
+    @pytest.mark.parametrize("query_text,expected", EXPECTED_SUCCESS)
+    def test_success_failure(self, query_text, expected):
+        ev = evaluator_for(UNIVERSITY, queries=[query_text])
+        assert ev.succeeds(parse(query_text)) is expected
+
+
+class TestAllAnswers:
+    def test_backtracking_recovers_all_answers(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x)"])
+        assert all_answers(ev, parse("K emp(?x)")) == {
+            (Parameter("Mary"),),
+            (Parameter("Bill"),),
+        }
+
+    def test_forced_failure_matches_generator(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x)"])
+        query = parse("K emp(?x)")
+        assert answers_by_forced_failure(ev, query) == all_answers(ev, query)
+
+    def test_limit(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x)"])
+        assert len(all_answers(ev, parse("K emp(?x)"), limit=1)) == 1
+
+    def test_sentence_query_has_empty_tuple_answer(self):
+        ev = evaluator_for("P(a)")
+        assert all_answers(ev, parse("K P(a)")) == {()}
+
+    def test_statistics(self):
+        ev = evaluator_for(PERSONNEL, queries=["K emp(?x)"])
+        all_answers(ev, parse("K emp(?x)"))
+        assert ev.statistics.demo_calls > 0
+        assert ev.statistics.prove_calls > 0

@@ -1,0 +1,121 @@
+"""Tests for repro.logic.builders — the construction DSL."""
+
+import pytest
+
+from repro.exceptions import ArityMismatchError
+from repro.logic.builders import (
+    atom,
+    conj,
+    disj,
+    equals,
+    exists,
+    forall,
+    iff,
+    implies,
+    knows,
+    literal,
+    neg,
+    param,
+    params,
+    pred,
+    var,
+    variables,
+)
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import Parameter, Variable
+
+
+class TestTermBuilders:
+    def test_var_strips_question_mark(self):
+        assert var("?x") == Variable("x")
+        assert var("x") == Variable("x")
+
+    def test_variables_builds_many(self):
+        assert variables("x", "y") == (Variable("x"), Variable("y"))
+
+    def test_param(self):
+        assert param("John") == Parameter("John")
+        assert params("a", "b") == (Parameter("a"), Parameter("b"))
+
+
+class TestPredicateBuilder:
+    def test_builds_atoms_with_coercion(self):
+        Teach = pred("Teach", 2)
+        built = Teach("John", "?c")
+        assert built == Atom("Teach", (Parameter("John"), Variable("c")))
+
+    def test_checks_arity(self):
+        Teach = pred("Teach", 2)
+        with pytest.raises(ArityMismatchError):
+            Teach("John")
+
+    def test_unchecked_arity(self):
+        Flexible = pred("Flexible")
+        assert Flexible("a").arity == 1
+        assert Flexible("a", "b").arity == 2
+
+    def test_atom_helper(self):
+        assert atom("P", "a", "?x") == Atom("P", (Parameter("a"), Variable("x")))
+
+
+class TestConnectiveBuilders:
+    def test_conj_empty_is_top(self):
+        assert conj([]) == Top()
+
+    def test_disj_empty_is_bottom(self):
+        assert disj([]) == Bottom()
+
+    def test_conj_singleton_unchanged(self):
+        only = atom("P", "a")
+        assert conj([only]) is only
+
+    def test_conj_left_associates(self):
+        a, b, c = atom("A"), atom("B"), atom("C")
+        assert conj([a, b, c]) == And(And(a, b), c)
+
+    def test_disj_builds_or(self):
+        a, b = atom("A"), atom("B")
+        assert disj([a, b]) == Or(a, b)
+
+    def test_neg_implies_iff_knows(self):
+        a, b = atom("A"), atom("B")
+        assert neg(a) == Not(a)
+        assert implies(a, b) == Implies(a, b)
+        assert iff(a, b) == Iff(a, b)
+        assert knows(a) == Know(a)
+
+    def test_equals_coerces(self):
+        assert equals("a", "?x") == Equals(Parameter("a"), Variable("x"))
+
+    def test_literal(self):
+        assert literal("P", "a") == atom("P", "a")
+        assert literal("P", "a", positive=False) == Not(atom("P", "a"))
+
+
+class TestQuantifierBuilders:
+    def test_single_name(self):
+        body = atom("P", "?x")
+        assert forall("x", body) == Forall(Variable("x"), body)
+        assert exists("x", body) == Exists(Variable("x"), body)
+
+    def test_multiple_names_nest_in_order(self):
+        body = atom("P", "?x", "?y")
+        built = forall(["x", "y"], body)
+        assert built == Forall(Variable("x"), Forall(Variable("y"), body))
+
+    def test_accepts_variable_objects(self):
+        body = atom("P", "?x")
+        assert exists(Variable("x"), body) == Exists(Variable("x"), body)

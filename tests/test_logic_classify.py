@@ -1,0 +1,276 @@
+"""Tests for repro.logic.classify — the paper's syntactic classes.
+
+The parametrised cases are taken directly from Examples 5.1–5.5 and
+Definition 6.3/6.4 of the paper, so this file doubles as the unit-level
+backing for experiment E4.
+"""
+
+import pytest
+
+from repro.logic.classify import (
+    classify,
+    explain_not_admissible,
+    explain_not_elementary,
+    explain_not_safe,
+    explain_not_subjective,
+    has_disjunctively_linked_variables,
+    has_distinct_quantified_variables,
+    is_admissible,
+    is_elementary_theory,
+    is_first_order,
+    is_k1,
+    is_literal,
+    is_modal,
+    is_normal_query,
+    is_positive_existential,
+    is_rule,
+    is_safe,
+    is_subjective,
+    literal_atom,
+    literal_sign,
+    rule_parts,
+)
+from repro.logic.parser import parse, parse_many
+
+
+class TestFirstOrderModal:
+    def test_first_order(self):
+        assert is_first_order(parse("forall x. p(x) -> q(x)"))
+        assert not is_first_order(parse("K p"))
+
+    def test_modal(self):
+        assert is_modal(parse("p & K q"))
+        assert not is_modal(parse("p & q"))
+
+    def test_k1(self):
+        assert is_k1(parse("K p & ~K q"))
+        assert not is_k1(parse("K K p"))
+        assert not is_k1(parse("K (p & K q)"))
+
+
+class TestSubjective:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a = b",
+            "K p",
+            "K (p | q)",
+            "~K p",
+            "exists x. K Teach(x, CS)",
+            "K p & ~K q",
+            "K exists x. Teach(x, CS)",
+            "~(exists x. K emp(x) & ~(exists y. K ss(x, y)))",
+        ],
+    )
+    def test_subjective(self, text):
+        assert is_subjective(parse(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        ["p", "p & K q", "K p | q", "exists x. Teach(x, CS)"],
+    )
+    def test_not_subjective(self, text):
+        formula = parse(text)
+        assert not is_subjective(formula)
+        assert explain_not_subjective(formula) is not None
+
+    def test_explanation_none_when_subjective(self):
+        assert explain_not_subjective(parse("K p")) is None
+
+
+class TestSafety:
+    # Example 5.1 — safe formulas (free variables written with ?).
+    SAFE = [
+        "P(?x, ?y) & K q(?x) & K r(?x)",
+        "exists x. ~r(x)",
+        "~K (exists x, y. p(x, y) & (q(x) | r(y)))",
+        "P(?x, ?y) & ~K q(?x) & ~K r(?y)",
+        "exists x, y. (p(x, y) & ~K q(x) & ~K r(y))",
+        "forall x. p(x) -> q(x)",  # any first-order formula is safe
+    ]
+    # Example 5.2 — unsafe formulas.
+    UNSAFE = [
+        "exists x. ~K p(x)",
+        "r(?x) & ~K m(?x) & ~K f(?y)",
+        "~K q(?x) & K r(?x)",
+    ]
+
+    @pytest.mark.parametrize("text", SAFE)
+    def test_safe_examples(self, text):
+        assert is_safe(parse(text))
+
+    @pytest.mark.parametrize("text", UNSAFE)
+    def test_unsafe_examples(self, text):
+        formula = parse(text)
+        assert not is_safe(formula)
+        assert explain_not_safe(formula) is not None
+
+    def test_explanation_none_when_safe(self):
+        assert explain_not_safe(parse("K p")) is None
+
+
+class TestAdmissibility:
+    # All but the last Section 1 query are admissible (Example 5.3).
+    ADMISSIBLE = [
+        "Teach(Mary, CS)",
+        "K Teach(Mary, CS)",
+        "K ~Teach(Mary, CS)",
+        "exists x. K Teach(John, x)",
+        "exists x. K Teach(x, CS)",
+        "K exists x. Teach(x, CS)",
+        "exists x. Teach(x, Psych)",
+        "exists x. K Teach(x, Psych)",
+        "exists x. Teach(x, Psych) & ~Teach(x, CS)",
+        "P(?x) & K q(?x)",  # Example 5.5, first formula
+    ]
+    NOT_ADMISSIBLE = [
+        # Example 5.3: the last Section 1 query — the existential scope mixes
+        # an objective atom with a modal literal.
+        "exists x. Teach(x, Psych) & ~K Teach(x, CS)",
+        # Example 5.3's explicitly non-admissible formula (also unsafe).
+        "exists x. ~K Teach(x, CS) & K Teach(x, Psych)",
+        # Example 5.5, second formula.
+        "exists x. p(x) & K q(x)",
+        # Section 5.3's duplicated quantified variable example.
+        "exists x. (K (exists x. p(x)) & K q(x))",
+    ]
+
+    @pytest.mark.parametrize("text", ADMISSIBLE)
+    def test_admissible_examples(self, text):
+        assert is_admissible(parse(text))
+
+    @pytest.mark.parametrize("text", NOT_ADMISSIBLE)
+    def test_not_admissible_examples(self, text):
+        formula = parse(text)
+        assert not is_admissible(formula)
+        assert explain_not_admissible(formula) is not None
+
+    def test_distinct_quantified_variables(self):
+        assert has_distinct_quantified_variables(parse("exists x. exists y. p(x, y)"))
+        assert not has_distinct_quantified_variables(parse("exists x. (p(x) & exists x. q(x))"))
+        assert not has_distinct_quantified_variables(parse("Q(?x) & exists x. p(x)"))
+
+    # Example 5.4: the admissible renderings of the Section 3 constraints.
+    EXAMPLE_5_4 = [
+        "~(exists x. K emp(x) & ~(exists y. K ss(x, y)))",
+        "~(exists x. K (male(x) & female(x)))",
+        "~(exists x. K person(x) & ~K male(x) & ~K female(x))",
+        "~(exists x, y. K mother(x, y) & ~K (person(x) & female(x) & person(y)))",
+        "~(exists x. K emp(x) & ~K (exists y. ss(x, y)))",
+        "~(exists x, y, z. K ss(x, y) & K ss(x, z) & ~K y = z)",
+    ]
+
+    @pytest.mark.parametrize("text", EXAMPLE_5_4)
+    def test_example_5_4_forms_are_admissible(self, text):
+        assert is_admissible(parse(text))
+
+
+class TestNormalQueries:
+    def test_normal_query(self):
+        assert is_normal_query(parse("p(?x) & K q(?x) & ~K r(?x)"))
+
+    def test_plain_literals_are_normal(self):
+        assert is_normal_query(parse("p(?x) & ~q(?x)"))
+
+    def test_non_literal_under_k_is_not_normal(self):
+        assert not is_normal_query(parse("K (p(?x) & q(?x))"))
+
+    def test_disjunction_is_not_normal(self):
+        assert not is_normal_query(parse("K p(?x) | K q(?x)"))
+
+    def test_normal_query_admissible_iff_safe(self):
+        safe_normal = parse("p(?x) & ~K q(?x)")
+        unsafe_normal = parse("~K q(?x) & K r(?x)")
+        assert is_normal_query(safe_normal) and is_admissible(safe_normal)
+        assert is_normal_query(unsafe_normal) and not is_admissible(unsafe_normal)
+
+
+class TestElementaryTheories:
+    def test_positive_existential(self):
+        assert is_positive_existential(parse("exists x. p(x) & (q(x) | r(x, x))"))
+        assert not is_positive_existential(parse("~p(a)"))
+        assert not is_positive_existential(parse("a = b"))
+        assert not is_positive_existential(parse("forall x. p(x)"))
+
+    def test_rule_recognition(self):
+        assert is_rule(parse("forall x. p(x) -> q(x)"))
+        assert is_rule(parse("forall x, y. p(x) & q(y) -> exists z. r(x, z)"))
+
+    def test_rule_requires_range_restriction(self):
+        assert not is_rule(parse("forall x, y. p(x) -> r(x, y)"))
+
+    def test_rule_antecedent_must_be_atomic_conjunction(self):
+        assert not is_rule(parse("forall x. (p(x) | q(x)) -> r(x, x)"))
+
+    def test_rule_parts(self):
+        variables, antecedent, consequent = rule_parts(parse("forall x. p(x) -> q(x)"))
+        assert [v.name for v in variables] == ["x"]
+        assert antecedent == parse("p(?x)")
+        assert consequent == parse("q(?x)")
+
+    def test_elementary_theory(self):
+        theory = parse_many(
+            """
+            p(a)
+            p(b) | q(b)
+            exists x. q(x)
+            forall x. p(x) -> q(x)
+            """
+        )
+        assert is_elementary_theory(theory)
+        assert explain_not_elementary(theory) is None
+
+    def test_equality_disqualifies(self):
+        theory = parse_many("p(a); a = a")
+        assert not is_elementary_theory(theory)
+        assert "equality" in explain_not_elementary(theory)
+
+    def test_negation_disqualifies(self):
+        theory = parse_many("p(a); ~q(b)")
+        assert not is_elementary_theory(theory)
+
+    def test_modal_sentence_disqualifies(self):
+        assert not is_elementary_theory(parse_many("K p(a)"))
+
+
+class TestDisjunctivelyLinkedVariables:
+    # Example 6.1 — formulas with disjunctively linked variables.
+    LINKED = [
+        "P(a, b) | Q(a, c)",
+        "forall x. U(x) | W(x)",
+        "P(?x, ?x) | Q(?x, ?x)",
+        "exists y, z. (P(y, ?x) | R(y, z, ?x) | exists u. (P(u, a) & Q(u, ?x)))",
+    ]
+    NOT_LINKED = [
+        "forall x. V(x) | W(?y)",
+        "P(?x, ?y) | Q(?y, ?z)",
+    ]
+
+    @pytest.mark.parametrize("text", LINKED)
+    def test_linked(self, text):
+        assert has_disjunctively_linked_variables(parse(text))
+
+    @pytest.mark.parametrize("text", NOT_LINKED)
+    def test_not_linked(self, text):
+        assert not has_disjunctively_linked_variables(parse(text))
+
+
+class TestLiteralHelpers:
+    def test_is_literal(self):
+        assert is_literal(parse("p(a)"))
+        assert is_literal(parse("~p(a)"))
+        assert not is_literal(parse("p(a) & q(a)"))
+
+    def test_literal_atom_and_sign(self):
+        negated = parse("~p(a)")
+        assert literal_atom(negated) == parse("p(a)")
+        assert literal_sign(negated) is False
+        assert literal_sign(parse("p(a)")) is True
+
+
+class TestClassifySummary:
+    def test_summary_keys(self):
+        summary = classify(parse("K p & ~K q"))
+        assert summary["modal"] and summary["subjective"] and summary["safe"]
+        assert summary["k1"] and summary["sentence"]
+        assert not summary["first_order"]

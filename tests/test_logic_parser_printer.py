@@ -1,0 +1,167 @@
+"""Tests for the parser and the printers (round trips included)."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.logic.builders import atom, exists, forall, knows
+from repro.logic.parser import parse, parse_many
+from repro.logic.printer import theory_to_text, to_text, to_unicode
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import Parameter, Variable
+
+
+class TestParserBasics:
+    def test_atom(self):
+        assert parse("Teach(John, Math)") == Atom(
+            "Teach", (Parameter("John"), Parameter("Math"))
+        )
+
+    def test_propositional_atom(self):
+        assert parse("p") == Atom("p", ())
+
+    def test_true_false(self):
+        assert parse("true") == Top()
+        assert parse("false") == Bottom()
+
+    def test_equality_and_inequality(self):
+        assert parse("a = b") == Equals(Parameter("a"), Parameter("b"))
+        assert parse("a != b") == Not(Equals(Parameter("a"), Parameter("b")))
+
+    def test_question_mark_variables(self):
+        assert parse("P(?x, a)") == Atom("P", (Variable("x"), Parameter("a")))
+
+    def test_bound_names_are_variables(self):
+        parsed = parse("exists x. P(x, a)")
+        assert parsed == Exists(Variable("x"), Atom("P", (Variable("x"), Parameter("a"))))
+
+    def test_unbound_names_are_parameters(self):
+        parsed = parse("P(x, a)")
+        assert parsed == Atom("P", (Parameter("x"), Parameter("a")))
+
+    def test_know_operator(self):
+        assert parse("K p") == Know(Atom("p", ()))
+        assert parse("K Teach(John, Math)") == Know(
+            Atom("Teach", (Parameter("John"), Parameter("Math")))
+        )
+
+    def test_connective_precedence(self):
+        parsed = parse("p & q | r")
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.left, And)
+
+    def test_implication_is_right_associative(self):
+        parsed = parse("p -> q -> r")
+        assert isinstance(parsed, Implies)
+        assert isinstance(parsed.right, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse("p <-> q"), Iff)
+
+    def test_negation_binds_tightly(self):
+        parsed = parse("~p & q")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.left, Not)
+
+    def test_quantifier_scope_extends_right(self):
+        parsed = parse("exists x. P(x) & Q(x)")
+        assert isinstance(parsed, Exists)
+        assert isinstance(parsed.body, And)
+
+    def test_multi_variable_quantifier(self):
+        parsed = parse("forall x, y. P(x, y)")
+        assert isinstance(parsed, Forall)
+        assert isinstance(parsed.body, Forall)
+
+    def test_parentheses_override(self):
+        parsed = parse("(p | q) & r")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.left, Or)
+
+
+class TestParserErrors:
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse("(p & q")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("p q")
+
+    def test_missing_quantifier_variable(self):
+        with pytest.raises(ParseError):
+            parse("exists . p")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("p @ q")
+
+    def test_non_string_input(self):
+        with pytest.raises(TypeError):
+            parse(42)
+
+
+class TestParseMany:
+    def test_splits_on_newlines_and_semicolons(self):
+        theory = parse_many("p; q\nr")
+        assert len(theory) == 3
+
+    def test_ignores_comments_and_blanks(self):
+        theory = parse_many(
+            """
+            # a comment
+            p   # trailing comment
+
+            q
+            """
+        )
+        assert len(theory) == 2
+
+
+class TestPrinter:
+    SAMPLES = [
+        "Teach(John, Math)",
+        "K Teach(John, Math)",
+        "~(K p)",
+        "p & q & r",
+        "p | q -> r",
+        "exists x. Teach(x, CS)",
+        "forall x. K emp(x) -> (exists y. K ss(x, y))",
+        "K (exists x. Teach(x, CS))",
+        "exists x. Teach(x, Psych) & ~(K Teach(x, CS))",
+        "a = b",
+        "~(a = b)",
+        "P(?x, a) & K Q(?x)",
+    ]
+
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_round_trip(self, text):
+        first = parse(text)
+        assert parse(to_text(first)) == first
+
+    def test_unicode_rendering(self):
+        formula = parse("forall x. K emp(x) -> exists y. K ss(x, y)")
+        rendered = to_unicode(formula)
+        assert "∀" in rendered and "∃" in rendered and "⊃" in rendered and "K" in rendered
+
+    def test_unicode_inequality(self):
+        assert "≠" in to_unicode(parse("a != b"))
+
+    def test_theory_to_text(self):
+        theory = parse_many("p; q")
+        assert theory_to_text(theory).splitlines() == ["p", "q"]
+
+    def test_str_of_formula_uses_printer(self):
+        assert str(parse("p & q")) == "p & q"

@@ -1,0 +1,67 @@
+"""Tests for signatures, the active universe and the semantics config."""
+
+import pytest
+
+from repro.logic.parser import parse, parse_many
+from repro.logic.signature import Signature, signature_of
+from repro.logic.terms import Parameter
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+
+
+class TestSignature:
+    def test_signature_of_theory_and_query(self):
+        signature = signature_of(parse_many("P(a); Q(a, b)"), [parse("R(c)")])
+        assert signature.predicates == {("P", 1), ("Q", 2), ("R", 1)}
+        assert signature.parameters == {Parameter("a"), Parameter("b"), Parameter("c")}
+
+    def test_merge_and_extension(self):
+        first = signature_of(parse_many("P(a)"))
+        second = signature_of(parse_many("Q(b)"))
+        merged = first.merge(second)
+        assert merged.predicates == {("P", 1), ("Q", 1)}
+        extended = merged.with_parameters([Parameter("z")]).with_predicates([("R", 2)])
+        assert Parameter("z") in extended.parameters
+        assert ("R", 2) in extended.predicates
+
+    def test_universe_is_sorted_and_padded(self):
+        signature = signature_of(parse_many("P(b); P(a)"))
+        universe = signature.universe(extra_parameters=2)
+        assert len(universe) == 4
+        assert [p.name for p in universe] == sorted(p.name for p in universe)
+
+    def test_universe_never_empty(self):
+        universe = Signature().universe(extra_parameters=0)
+        assert len(universe) == 1
+
+    def test_fresh_witnesses_avoid_existing_names(self):
+        signature = signature_of(parse_many("P(_u1)"))
+        universe = signature.universe(extra_parameters=1)
+        assert len(universe) == 2
+        assert len({p.name for p in universe}) == 2
+
+    def test_herbrand_base_size(self):
+        signature = signature_of(parse_many("P(a); Q(a, b)"))
+        universe = signature.universe(extra_parameters=0)
+        base = signature.herbrand_base(universe=universe)
+        # |U| = 2 → P contributes 2 atoms, Q contributes 4.
+        assert len(base) == 6
+
+    def test_herbrand_base_respects_given_universe(self):
+        signature = signature_of(parse_many("P(a)"))
+        base = signature.herbrand_base(universe=(Parameter("a"), Parameter("b"), Parameter("c")))
+        assert len(base) == 3
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.extra_parameters == 2
+        assert DEFAULT_CONFIG.max_validity_atoms >= 3
+
+    def test_with_extra_parameters(self):
+        tweaked = DEFAULT_CONFIG.with_extra_parameters(5)
+        assert tweaked.extra_parameters == 5
+        assert tweaked.max_relevant_atoms == DEFAULT_CONFIG.max_relevant_atoms
+        assert DEFAULT_CONFIG.extra_parameters == 2  # original untouched
+
+    def test_config_is_hashable(self):
+        assert len({SemanticsConfig(), SemanticsConfig()}) == 1

@@ -1,0 +1,102 @@
+"""Tests for repro.logic.substitution."""
+
+import pytest
+
+from repro.logic.builders import atom, exists, forall, knows
+from repro.logic.substitution import Substitution, bind_free_variables, substitute
+from repro.logic.syntax import Exists, free_variables
+from repro.logic.terms import Parameter, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Parameter("a"), Parameter("b")
+
+
+class TestSubstitutionBasics:
+    def test_identity_bindings_are_dropped(self):
+        assert not Substitution({x: x})
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({a: b})
+
+    def test_rejects_non_term_values(self):
+        with pytest.raises(TypeError):
+            Substitution({x: "a"})
+
+    def test_equality_and_hash(self):
+        assert Substitution({x: a}) == Substitution({x: a})
+        assert len({Substitution({x: a}), Substitution({x: a})}) == 1
+
+    def test_bind_returns_new(self):
+        first = Substitution({x: a})
+        second = first.bind(y, b)
+        assert y not in first
+        assert second[y] == b
+
+    def test_restrict_and_without(self):
+        subst = Substitution({x: a, y: b})
+        assert set(subst.restrict([x]).keys()) == {x}
+        assert set(subst.without([x]).keys()) == {y}
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution({x: y})
+        second = Substitution({y: a})
+        composed = first.compose(second)
+        assert composed[x] == a
+        assert composed[y] == a
+
+    def test_is_ground(self):
+        assert Substitution({x: a}).is_ground()
+        assert not Substitution({x: y}).is_ground()
+
+    def test_as_tuple_requires_all_bound(self):
+        subst = Substitution({x: a})
+        assert subst.as_tuple([x]) == (a,)
+        with pytest.raises(KeyError):
+            subst.as_tuple([x, y])
+
+
+class TestApplication:
+    def test_apply_to_atom(self):
+        formula = atom("P", "?x", "a")
+        assert substitute(formula, {x: b}) == atom("P", "b", "a")
+
+    def test_apply_under_know(self):
+        formula = knows(atom("P", "?x"))
+        assert substitute(formula, {x: a}) == knows(atom("P", "a"))
+
+    def test_bound_variable_is_shadowed(self):
+        formula = exists("x", atom("P", "?x"))
+        assert substitute(formula, {x: a}) == formula
+
+    def test_free_occurrences_only(self):
+        formula = atom("Q", "?x") & exists("x", atom("P", "?x"))
+        result = substitute(formula, {x: a})
+        assert result.left == atom("Q", "a")
+        assert result.right == exists("x", atom("P", "?x"))
+
+    def test_capture_avoidance_renames_binder(self):
+        # Substituting y for x under a quantifier that binds y must rename.
+        formula = exists("y", atom("P", "?x", "?y"))
+        result = substitute(formula, {x: y})
+        assert isinstance(result, Exists)
+        assert result.variable != y
+        assert free_variables(result) == {y}
+
+    def test_apply_to_quantifier_without_clash(self):
+        formula = forall("z", atom("P", "?x", "?z"))
+        result = substitute(formula, {x: a})
+        assert result == forall("z", atom("P", "a", "?z"))
+
+
+class TestBindFreeVariables:
+    def test_binds_in_sorted_name_order(self):
+        formula = atom("P", "?y", "?x")
+        bound, used = bind_free_variables(formula, [a, b])
+        # sorted order is x, y → x gets a, y gets b
+        assert bound == atom("P", "b", "a")
+        assert used[x] == a and used[y] == b
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            bind_free_variables(atom("P", "?x"), [a, b])

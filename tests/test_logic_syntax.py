@@ -1,0 +1,152 @@
+"""Tests for repro.logic.syntax — the formula AST and its helpers."""
+
+import pytest
+
+from repro.logic.builders import atom, conj, exists, forall, knows, param, pred, var
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    Top,
+    atoms_of,
+    bound_variables,
+    formula_depth,
+    formula_size,
+    free_variables,
+    is_ground,
+    is_sentence,
+    modal_depth,
+    parameters_of,
+    predicates_of,
+    subformulas,
+    variables_of,
+)
+from repro.logic.terms import Parameter, Variable
+
+P = pred("P", 2)
+Q = pred("Q", 1)
+x, y = Variable("x"), Variable("y")
+a, b = Parameter("a"), Parameter("b")
+
+
+class TestConstruction:
+    def test_atom_requires_terms(self):
+        with pytest.raises(TypeError):
+            Atom("P", ("not-a-term",))
+
+    def test_atom_rejects_equality_name(self):
+        with pytest.raises(ValueError):
+            Atom("=", (a, b))
+
+    def test_equality_requires_terms(self):
+        with pytest.raises(TypeError):
+            Equals("a", b)
+
+    def test_connectives_require_formulas(self):
+        with pytest.raises(TypeError):
+            And(P(a, b), "oops")
+        with pytest.raises(TypeError):
+            Not(42)
+
+    def test_quantifier_requires_variable(self):
+        with pytest.raises(TypeError):
+            Forall(a, Q(a))
+
+    def test_operator_sugar(self):
+        formula = (Q(a) & Q(b)) | ~P(a, b)
+        assert isinstance(formula, Or)
+        assert isinstance(formula.left, And)
+        assert isinstance(formula.right, Not)
+
+    def test_implication_sugar(self):
+        formula = Q(a) >> Q(b)
+        assert isinstance(formula, Implies)
+
+    def test_known_sugar(self):
+        assert Q(a).known() == Know(Q(a))
+
+    def test_formulas_are_hashable_and_comparable(self):
+        assert P(a, b) == P(a, b)
+        assert len({P(a, b), P(a, b), P(b, a)}) == 2
+
+
+class TestFreeVariables:
+    def test_atom_free_variables(self):
+        assert free_variables(P(x, a)) == {x}
+
+    def test_quantifier_binds(self):
+        assert free_variables(exists("x", P(x, y))) == {y}
+
+    def test_nested_quantifiers(self):
+        formula = forall("x", exists("y", P(x, y)))
+        assert free_variables(formula) == set()
+
+    def test_know_is_transparent_for_variables(self):
+        assert free_variables(knows(P(x, y))) == {x, y}
+
+    def test_equality_variables(self):
+        assert free_variables(Equals(x, a)) == {x}
+
+    def test_is_sentence(self):
+        assert is_sentence(forall("x", Q(x)))
+        assert not is_sentence(Q(x))
+
+    def test_bound_variables(self):
+        formula = forall("x", exists("y", P(x, y)))
+        assert bound_variables(formula) == {x, y}
+
+    def test_variables_of_includes_bound_and_free(self):
+        formula = exists("y", P(x, y))
+        assert variables_of(formula) == {x, y}
+
+
+class TestCollectors:
+    def test_parameters_of(self):
+        formula = P(a, x) & Q(b)
+        assert parameters_of(formula) == {a, b}
+
+    def test_predicates_of(self):
+        formula = P(a, b) & Q(a) & knows(Q(b))
+        assert predicates_of(formula) == {("P", 2), ("Q", 1)}
+
+    def test_atoms_of(self):
+        formula = P(a, b) | ~Q(a)
+        assert atoms_of(formula) == {P(a, b), Q(a)}
+
+    def test_subformulas_count(self):
+        formula = P(a, b) & Q(a)
+        kinds = [type(f).__name__ for f in subformulas(formula)]
+        assert kinds.count("Atom") == 2
+        assert kinds.count("And") == 1
+
+    def test_is_ground(self):
+        assert is_ground(P(a, b) & Q(a))
+        assert not is_ground(P(a, x))
+        assert not is_ground(forall("x", Q(x)))
+
+
+class TestMeasures:
+    def test_formula_size(self):
+        assert formula_size(Q(a)) == 1
+        assert formula_size(Q(a) & Q(b)) == 3
+
+    def test_formula_depth(self):
+        assert formula_depth(Q(a)) == 1
+        assert formula_depth(~(Q(a) & Q(b))) == 3
+
+    def test_modal_depth(self):
+        assert modal_depth(Q(a)) == 0
+        assert modal_depth(knows(Q(a))) == 1
+        assert modal_depth(knows(knows(Q(a)))) == 2
+        assert modal_depth(knows(Q(a)) & knows(Q(b))) == 1
+
+    def test_top_bottom_are_formulas(self):
+        assert formula_size(Top() & Bottom()) == 3

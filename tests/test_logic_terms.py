@@ -1,0 +1,81 @@
+"""Tests for repro.logic.terms."""
+
+import pytest
+
+from repro.logic.terms import (
+    Parameter,
+    Variable,
+    fresh_parameters,
+    fresh_variable,
+    is_ground_term,
+    term_from,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_ordering_by_name(self):
+        assert Variable("a") < Variable("b")
+
+
+class TestParameter:
+    def test_equality_is_by_name(self):
+        assert Parameter("John") == Parameter("John")
+        assert Parameter("John") != Parameter("Mary")
+
+    def test_distinct_from_variable_with_same_name(self):
+        assert Parameter("x") != Variable("x")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_is_ground(self):
+        assert is_ground_term(Parameter("John"))
+        assert not is_ground_term(Variable("x"))
+
+
+class TestTermFrom:
+    def test_plain_string_is_parameter(self):
+        assert term_from("John") == Parameter("John")
+
+    def test_question_mark_string_is_variable(self):
+        assert term_from("?x") == Variable("x")
+
+    def test_terms_pass_through(self):
+        v = Variable("x")
+        assert term_from(v) is v
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            term_from(42)
+
+
+class TestFreshSymbols:
+    def test_fresh_parameters_avoid_clashes(self):
+        existing = [Parameter("_g1"), Parameter("_g3")]
+        fresh = fresh_parameters(3, avoid=existing)
+        assert len(fresh) == 3
+        assert len(set(fresh) | set(existing)) == 5
+
+    def test_fresh_parameters_count(self):
+        assert len(fresh_parameters(0)) == 0
+        assert len(fresh_parameters(5)) == 5
+
+    def test_fresh_variable_avoids_names(self):
+        avoid = [Variable("_v1"), Variable("_v2")]
+        fresh = fresh_variable(avoid=avoid)
+        assert fresh not in avoid

@@ -1,0 +1,202 @@
+"""Tests for repro.logic.transform."""
+
+import pytest
+
+from repro.exceptions import NotFirstOrderError
+from repro.logic.builders import atom, conj, exists, forall, knows
+from repro.logic.classify import is_admissible, is_safe, is_subjective
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Exists,
+    Forall,
+    Know,
+    Not,
+    Or,
+    Top,
+    bound_variables,
+    free_variables,
+)
+from repro.logic.transform import (
+    conjuncts,
+    disjuncts,
+    eliminate_implications,
+    ground_quantifiers,
+    insert_know,
+    instantiate,
+    negation_normal_form,
+    remove_know,
+    rename_apart,
+    right_associate,
+    simplify,
+    to_admissible_form,
+)
+from repro.logic.terms import Parameter, Variable
+
+
+class TestEliminateImplications:
+    def test_implies(self):
+        result = eliminate_implications(parse("p -> q"))
+        assert result == parse("~p | q")
+
+    def test_iff(self):
+        result = eliminate_implications(parse("p <-> q"))
+        assert result == parse("(~p | q) & (~q | p)")
+
+    def test_under_quantifier_and_know(self):
+        result = eliminate_implications(parse("K (forall x. P(x) -> Q(x))"))
+        assert "->" not in str(result)
+
+
+class TestNegationNormalForm:
+    def test_pushes_through_and(self):
+        assert negation_normal_form(parse("~(p & q)")) == parse("~p | ~q")
+
+    def test_pushes_through_quantifiers(self):
+        result = negation_normal_form(parse("~ exists x. P(x)"))
+        assert isinstance(result, Forall)
+        assert isinstance(result.body, Not)
+
+    def test_stops_at_know(self):
+        result = negation_normal_form(parse("~K (p & q)"))
+        assert isinstance(result, Not)
+        assert isinstance(result.body, Know)
+
+    def test_double_negation(self):
+        assert negation_normal_form(parse("~~p")) == parse("p")
+
+
+class TestRenameApart:
+    def test_duplicate_quantified_variables_are_renamed(self):
+        formula = parse("(exists x. P(x)) & (exists x. Q(x))")
+        renamed = rename_apart(formula)
+        assert len(bound_variables(renamed)) == 2
+
+    def test_free_variables_are_preserved(self):
+        formula = parse("Q(?x) & exists x. P(x)")
+        renamed = rename_apart(formula)
+        assert Variable("x") in free_variables(renamed)
+        assert Variable("x") not in bound_variables(renamed)
+
+    def test_no_clash_is_untouched(self):
+        formula = parse("exists x. P(x)")
+        assert rename_apart(formula) == formula
+
+
+class TestRightAssociate:
+    def test_reassociates(self):
+        a, b, c = atom("A"), atom("B"), atom("C")
+        formula = And(And(a, b), c)
+        assert right_associate(formula) == And(a, And(b, c))
+
+    def test_preserves_conjunct_multiset(self):
+        formula = parse("(p & q) & (r & s)")
+        assert conjuncts(right_associate(formula)) == conjuncts(formula)
+
+    def test_inside_know(self):
+        formula = knows(And(And(atom("A"), atom("B")), atom("C")))
+        result = right_associate(formula)
+        assert isinstance(result.body.right, And)
+
+    def test_disjuncts_helper(self):
+        assert len(disjuncts(parse("p | q | r"))) == 3
+
+
+class TestKnowTransforms:
+    def test_remove_know(self):
+        formula = parse("forall x. K emp(x) -> exists y. K ss(x, y)")
+        assert remove_know(formula) == parse("forall x. emp(x) -> exists y. ss(x, y)")
+
+    def test_insert_know_wraps_every_atom(self):
+        formula = parse("q(a) & ~ exists y. r(a, y)")
+        result = insert_know(formula)
+        assert result == parse("K q(a) & ~ exists y. K r(a, y)")
+
+    def test_insert_know_is_subjective_k1(self):
+        result = insert_know(parse("forall x. p(x) | ~q(x)"))
+        assert is_subjective(result)
+
+    def test_insert_know_rejects_modal_input(self):
+        with pytest.raises(NotFirstOrderError):
+            insert_know(parse("K p"))
+
+    def test_remove_then_insert_round_trip_on_atoms(self):
+        formula = parse("p(a) & q(b)")
+        assert remove_know(insert_know(formula)) == formula
+
+
+class TestToAdmissibleForm:
+    def test_example_3_1_becomes_example_5_4(self):
+        constraint = parse("forall x. K emp(x) -> exists y. K ss(x, y)")
+        rewritten = to_admissible_form(constraint)
+        assert is_admissible(rewritten)
+        assert isinstance(rewritten, Not)
+        assert isinstance(rewritten.body, Exists)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. K emp(x) -> exists y. K ss(x, y)",
+            "forall x. ~ K (male(x) & female(x))",
+            "forall x. K person(x) -> (K male(x) | K female(x))",
+            "forall x, y. K mother(x, y) -> K (person(x) & female(x) & person(y))",
+            "forall x. K emp(x) -> K exists y. ss(x, y)",
+            "forall x, y, z. (K ss(x, y) & K ss(x, z)) -> K y = z",
+        ],
+    )
+    def test_all_section3_constraints_become_admissible(self, text):
+        assert is_admissible(to_admissible_form(parse(text)))
+
+    def test_already_admissible_is_kept_admissible(self):
+        query = parse("K Teach(John, Math)")
+        assert to_admissible_form(query) == query
+
+
+class TestSimplify:
+    def test_conjunction_with_true(self):
+        assert simplify(parse("p & true")) == parse("p")
+
+    def test_disjunction_with_false(self):
+        assert simplify(parse("p | false")) == parse("p")
+
+    def test_contradiction_collapses(self):
+        assert simplify(parse("p & false")) == Bottom()
+
+    def test_double_negation(self):
+        assert simplify(parse("~~p")) == parse("p")
+
+    def test_vacuous_quantifier_dropped(self):
+        assert simplify(parse("exists x. p")) == parse("p")
+
+    def test_idempotent_conjunction(self):
+        assert simplify(parse("p & p")) == parse("p")
+
+    def test_know_true(self):
+        assert simplify(knows(Top())) == Top()
+
+
+class TestGrounding:
+    def test_instantiate(self):
+        formula = parse("exists y. P(?x, y)")
+        result = instantiate(formula, Variable("x"), Parameter("a"))
+        assert free_variables(result) == set()
+
+    def test_ground_quantifiers_forall(self):
+        universe = (Parameter("a"), Parameter("b"))
+        result = ground_quantifiers(parse("forall x. P(x)"), universe)
+        assert result == parse("P(a) & P(b)")
+
+    def test_ground_quantifiers_exists(self):
+        universe = (Parameter("a"), Parameter("b"))
+        result = ground_quantifiers(parse("exists x. P(x)"), universe)
+        assert result == parse("P(a) | P(b)")
+
+    def test_ground_nested(self):
+        universe = (Parameter("a"),)
+        result = ground_quantifiers(parse("forall x. exists y. R(x, y)"), universe)
+        assert result == parse("R(a, a)")
+
+    def test_empty_universe(self):
+        assert ground_quantifiers(parse("forall x. P(x)"), ()) == Top()
+        assert ground_quantifiers(parse("exists x. P(x)"), ()) == Bottom()

@@ -1,0 +1,122 @@
+"""Tests for Section 4: equivalence reasoning and semantic query
+optimisation."""
+
+import pytest
+
+from repro.logic.parser import parse, parse_many
+from repro.logic.syntax import Bottom
+from repro.optimize.equivalence import (
+    constraint_redundant,
+    constraints_equivalent,
+    equivalent_for_database,
+    queries_equivalent_under,
+)
+from repro.optimize.rewriter import SemanticOptimizer
+from repro.optimize.simplify import simplify_query
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.reduction import EpistemicReducer
+
+SMALL = SemanticsConfig(extra_parameters=1, max_validity_atoms=4)
+
+
+class TestSimplifyQuery:
+    def test_double_negation_and_duplicates(self):
+        assert simplify_query(parse("~~K p")) == parse("K p")
+        assert simplify_query(parse("K p & K p")) == parse("K p")
+        assert simplify_query(parse("K p | K p")) == parse("K p")
+
+    def test_kk_collapse(self):
+        assert simplify_query(parse("K K p")) == parse("K p")
+
+    def test_truth_constants(self):
+        assert simplify_query(parse("K p & true")) == parse("K p")
+        assert simplify_query(parse("K p & false")) == Bottom()
+
+    def test_vacuous_quantifier(self):
+        assert simplify_query(parse("exists x. K p")) == parse("K p")
+
+    def test_untouched_when_nothing_applies(self):
+        query = parse("K p & ~K q")
+        assert simplify_query(query) == query
+
+
+class TestEquivalence:
+    def test_corollary_4_1_constraint_equivalence(self):
+        # Example 5.4's rewriting is a genuine KFOPCE equivalence.
+        original = parse("forall x. ~K (male(x) & female(x))")
+        admissible = parse("~(exists x. K (male(x) & female(x)))")
+        assert constraints_equivalent(original, admissible, config=SMALL)
+
+    def test_non_equivalent_constraints(self):
+        assert not constraints_equivalent(parse("K p"), parse("K q"), config=SMALL)
+
+    def test_corollary_4_2_query_equivalence_under_constraint(self):
+        constraint = parse("K p -> K q")
+        assert queries_equivalent_under(constraint, parse("K p & K q"), parse("K p"), config=SMALL)
+
+    def test_constraint_redundancy(self):
+        existing = [parse("K p & K q")]
+        assert constraint_redundant(existing, parse("K p"), config=SMALL)
+        assert not constraint_redundant(existing, parse("K r"), config=SMALL)
+        assert not constraint_redundant([], parse("K p"), config=SMALL)
+
+    def test_database_relative_equivalence(self):
+        theory = parse_many("p; q")
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[parse("K p"), parse("K q")])
+        assert equivalent_for_database(reducer, parse("K p"), parse("K q"))
+        assert not equivalent_for_database(reducer, parse("K p"), parse("K r"))
+
+
+class TestSemanticOptimizer:
+    def test_drops_redundant_conjunct(self):
+        constraint = parse("forall x. K emp(x) -> K person(x)")
+        optimizer = SemanticOptimizer([constraint], config=SMALL.with_extra_parameters(1))
+        result = optimizer.optimize(parse("K emp(?x) & K person(?x)"))
+        assert result.changed
+        assert result.optimized == parse("K emp(?x)")
+        assert any("dropped" in step for step in result.applied)
+
+    def test_keeps_conjuncts_when_constraint_is_unrelated(self):
+        constraint = parse("forall x. K adult(x) -> K person(x)")  # says nothing about emp
+        optimizer = SemanticOptimizer([constraint], config=SMALL)
+        result = optimizer.optimize(parse("K emp(?x) & K person(?x)"))
+        assert result.optimized == parse("K emp(?x) & K person(?x)")
+
+    def test_reverse_constraint_drops_the_other_conjunct(self):
+        # With K person(x) -> K emp(x), the conjunct that becomes redundant is
+        # K emp(?x); the optimiser must keep the answers identical either way.
+        constraint = parse("forall x. K person(x) -> K emp(x)")
+        optimizer = SemanticOptimizer([constraint], config=SMALL)
+        result = optimizer.optimize(parse("K emp(?x) & K person(?x)"))
+        assert result.optimized == parse("K person(?x)")
+
+    def test_prunes_contradictory_query(self):
+        constraint = parse("forall x. ~K (male(x) & female(x))")
+        optimizer = SemanticOptimizer([constraint], config=SMALL)
+        result = optimizer.optimize(parse("K (male(?x) & female(?x))"))
+        assert isinstance(result.optimized, Bottom)
+
+    def test_no_constraints_means_only_simplification(self):
+        optimizer = SemanticOptimizer([], config=SMALL)
+        result = optimizer.optimize(parse("K p & K p"))
+        assert result.optimized == parse("K p")
+
+    def test_assume_mode_skips_proofs(self):
+        optimizer = SemanticOptimizer([parse("K p -> K q")], config=SMALL, verify="assume")
+        result = optimizer.optimize(parse("K p & K q"))
+        assert result.changed
+
+    def test_invalid_verify_mode(self):
+        with pytest.raises(ValueError):
+            SemanticOptimizer([], verify="hope")
+
+    def test_optimized_query_has_same_answers(self):
+        # End-to-end: Corollary 4.2 in action on a database that satisfies
+        # the constraint.
+        theory = parse_many("emp(Mary); person(Mary); emp(Bill); person(Bill); person(Ann)")
+        constraint = parse("forall x. K emp(x) -> K person(x)")
+        optimizer = SemanticOptimizer([constraint], config=SMALL)
+        original = parse("K emp(?x) & K person(?x)")
+        optimized = optimizer.optimize(original).optimized
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[original, optimized])
+        assert reducer.answers(original).tuples() == reducer.answers(optimized).tuples()

@@ -1,0 +1,235 @@
+"""Property-based tests on the reasoning engines (hypothesis).
+
+These are the cross-checks DESIGN.md commits to:
+
+* the DPLL solver agrees with brute-force truth-table satisfiability,
+* Tseitin and naive CNF encodings are equisatisfiable,
+* the prover-based epistemic reduction agrees with the model-enumeration
+  oracle of Definition 2.1,
+* ``demo`` is sound (Theorem 5.1) and, on elementary databases with queries
+  admissible wrt F_Σ, complete (Theorem 6.2) against that same oracle,
+* naive and semi-naive Datalog evaluation compute the same least model,
+* the closed-world collapse (Theorem 7.1) holds on random definite
+  databases.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.builders import atom, conj, disj, knows
+from repro.logic.syntax import Atom, Not, free_variables
+from repro.logic.terms import Parameter, Variable
+from repro.prover.cnf import cnf_clauses, naive_cnf_clauses
+from repro.prover.dpll import Clause, DPLLSolver
+from repro.prover.prove import FirstOrderProver
+from repro.semantics import entailment as oracle
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.reduction import EpistemicReducer
+from repro.evaluator.all_answers import all_answers
+from repro.evaluator.completeness import demo_is_complete_for
+from repro.evaluator.demo import DemoEvaluator
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+# ---------------------------------------------------------------------------
+# SAT layer
+# ---------------------------------------------------------------------------
+
+literals = st.integers(min_value=1, max_value=4).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clauses = st.lists(st.lists(literals, min_size=1, max_size=3).map(Clause), min_size=0, max_size=8)
+
+
+def brute_force_satisfiable(clause_list):
+    variables = sorted({abs(l) for clause in clause_list for l in clause})
+    if any(len(clause) == 0 for clause in clause_list):
+        return False
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clause_list
+        ):
+            return True
+    return not clause_list
+
+
+@settings(max_examples=200, deadline=None)
+@given(clauses)
+def test_dpll_agrees_with_truth_tables(clause_list):
+    assert DPLLSolver(clause_list).is_satisfiable() == brute_force_satisfiable(clause_list)
+
+
+# ---------------------------------------------------------------------------
+# CNF encodings
+# ---------------------------------------------------------------------------
+
+PARAMS = [Parameter("a"), Parameter("b")]
+ground_atoms = st.sampled_from([atom("P", p.name) for p in PARAMS] + [atom("Q", p.name) for p in PARAMS])
+
+
+def ground_formulas():
+    from repro.logic.syntax import And, Iff, Implies, Or
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        )
+
+    return st.recursive(ground_atoms, extend, max_leaves=6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(ground_formulas(), min_size=1, max_size=3))
+def test_tseitin_and_naive_cnf_are_equisatisfiable(formulas):
+    tseitin, _ = cnf_clauses(formulas)
+    naive, _ = naive_cnf_clauses(formulas)
+    assert DPLLSolver(tseitin).is_satisfiable() == DPLLSolver(naive).is_satisfiable()
+
+
+# ---------------------------------------------------------------------------
+# Random small databases and queries
+# ---------------------------------------------------------------------------
+
+def small_databases():
+    """Random databases: ground atoms, binary disjunctions and one rule."""
+    facts = st.lists(ground_atoms, min_size=0, max_size=4)
+    disjunctions = st.lists(
+        st.tuples(ground_atoms, ground_atoms).map(lambda pair: disj(list(pair))),
+        min_size=0,
+        max_size=2,
+    )
+    return st.tuples(facts, disjunctions).map(lambda pair: pair[0] + pair[1])
+
+
+def sentence_queries():
+    """Random KFOPCE sentences over the same signature."""
+    base = ground_atoms.map(lambda a: a)
+
+    def extend(children):
+        from repro.logic.syntax import And, Know, Or
+
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Know, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_databases(), sentence_queries())
+def test_reduction_agrees_with_model_oracle(theory, query):
+    reducer = EpistemicReducer(theory, config=CONFIG, queries=[query])
+    assert reducer.entails(query) == oracle.entails(theory, query, config=CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# demo: soundness on admissible normal queries, completeness on elementary DBs
+# ---------------------------------------------------------------------------
+
+def elementary_databases():
+    facts = st.lists(ground_atoms, min_size=1, max_size=5)
+    disjunctions = st.lists(
+        st.tuples(ground_atoms, ground_atoms).map(lambda pair: disj(list(pair))),
+        min_size=0,
+        max_size=2,
+    )
+    return st.tuples(facts, disjunctions).map(lambda pair: pair[0] + pair[1])
+
+
+def normal_queries():
+    """Safe normal queries over one free variable."""
+    x = Variable("x")
+    positive = st.sampled_from([Atom("P", (x,)), Atom("Q", (x,))])
+    modal_literal = st.sampled_from(
+        [
+            knows(Atom("P", (x,))),
+            knows(Atom("Q", (x,))),
+            Not(knows(Atom("P", (x,)))),
+            Not(knows(Atom("Q", (x,)))),
+        ]
+    )
+    return st.tuples(positive, st.lists(modal_literal, min_size=0, max_size=2)).map(
+        lambda pair: conj([knows(pair[0])] + pair[1])
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(elementary_databases(), normal_queries())
+def test_demo_soundness_and_completeness_on_elementary_databases(theory, query):
+    """Theorem 5.1 + Theorem 6.2 against the Definition 2.1 oracle."""
+    evaluator = DemoEvaluator(theory, config=CONFIG, queries=[query])
+    produced = all_answers(evaluator, query)
+    variables = sorted(free_variables(query), key=lambda v: v.name)
+    universe = evaluator.universe
+    expected = set()
+    for values in product(universe, repeat=len(variables)):
+        from repro.logic.substitution import Substitution
+
+        instance = Substitution(dict(zip(variables, values))).apply(query)
+        if oracle.entails(theory, instance, config=CONFIG):
+            expected.add(values)
+    # Soundness: everything demo returns is a genuine answer.
+    assert produced <= expected
+    # Completeness: on elementary databases with queries admissible wrt F_Σ,
+    # demo finds every answer (Theorem 6.2).
+    if demo_is_complete_for(query, theory).complete:
+        assert produced == expected
+
+
+# ---------------------------------------------------------------------------
+# Datalog: naive vs semi-naive
+# ---------------------------------------------------------------------------
+
+datalog_edges = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=10
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(datalog_edges)
+def test_naive_and_semi_naive_datalog_agree(edges):
+    from repro.datalog.engine import DatalogEngine
+    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+
+    def build():
+        program = DatalogProgram()
+        for source, target in edges:
+            program.add_fact(atom("edge", f"n{source}", f"n{target}"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        program.add_rule(DatalogRule(Atom("path", (x, y)), (DatalogLiteral(Atom("edge", (x, y))),)))
+        program.add_rule(
+            DatalogRule(
+                Atom("path", (x, z)),
+                (DatalogLiteral(Atom("edge", (x, y))), DatalogLiteral(Atom("path", (y, z)))),
+            )
+        )
+        return program
+
+    naive = DatalogEngine(build(), strategy="naive").least_model()
+    semi = DatalogEngine(build(), strategy="semi-naive").least_model()
+    assert naive == semi
+
+
+# ---------------------------------------------------------------------------
+# Closed world: Theorem 7.1 on definite databases
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(ground_atoms, min_size=1, max_size=4), sentence_queries())
+def test_closed_world_collapse_on_definite_databases(facts, query):
+    from repro.cwa.closure import closure
+    from repro.logic.transform import remove_know
+
+    closed = closure(facts, queries=[query], config=CONFIG)
+    epistemic = oracle.entails(closed, query, config=CONFIG)
+    prover = FirstOrderProver.for_theory(closed, queries=[query], config=CONFIG)
+    assert epistemic == prover.entails(remove_know(query))

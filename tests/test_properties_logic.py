@@ -1,0 +1,176 @@
+"""Property-based tests on the logic layer (hypothesis).
+
+Random formulas are generated over a tiny signature and checked for the
+structural invariants the rest of the system depends on:
+
+* parser/printer round trip,
+* NNF and implication elimination preserve truth in every structure,
+* rename-apart preserves free variables and truth,
+* right association preserves the conjunct multiset and truth,
+* substitution never captures variables.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.classify import is_first_order
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.logic.substitution import Substitution
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    bound_variables,
+    free_variables,
+)
+from repro.logic.terms import Parameter, Variable
+from repro.logic.transform import (
+    conjuncts,
+    eliminate_implications,
+    negation_normal_form,
+    rename_apart,
+    right_associate,
+    simplify,
+)
+from repro.semantics.truth import is_true
+from repro.semantics.worlds import World
+
+PARAMETERS = [Parameter("a"), Parameter("b")]
+VARIABLES = [Variable("x"), Variable("y")]
+UNIVERSE = tuple(PARAMETERS)
+
+terms = st.sampled_from(PARAMETERS + VARIABLES)
+unary_atoms = st.builds(lambda t: Atom("P", (t,)), terms)
+binary_atoms = st.builds(lambda t1, t2: Atom("R", (t1, t2)), terms, terms)
+atoms = st.one_of(unary_atoms, binary_atoms)
+
+
+def formulas(max_depth=4, modal=True):
+    """A recursive strategy for (possibly modal) formulas."""
+    base = atoms
+
+    def extend(children):
+        options = [
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+            st.builds(lambda v, b: Forall(v, b), st.sampled_from(VARIABLES), children),
+            st.builds(lambda v, b: Exists(v, b), st.sampled_from(VARIABLES), children),
+        ]
+        if modal:
+            options.append(st.builds(Know, children))
+        return st.one_of(options)
+
+    return st.recursive(base, extend, max_leaves=max_depth)
+
+
+def sample_structures():
+    """A deterministic spread of (world, world-set) evaluation points."""
+    ground_atoms = [
+        Atom("P", (p,)) for p in PARAMETERS
+    ] + [Atom("R", (p, q)) for p in PARAMETERS for q in PARAMETERS]
+    worlds = [
+        World([]),
+        World(ground_atoms[:1]),
+        World(ground_atoms[:3]),
+        World(ground_atoms),
+    ]
+    world_sets = [frozenset(), frozenset(worlds[:2]), frozenset(worlds)]
+    return [(w, s) for w in worlds for s in world_sets]
+
+
+STRUCTURES = sample_structures()
+
+
+def closed(formula):
+    """Universally close a formula so it can be evaluated."""
+    from repro.logic.builders import forall
+
+    free = sorted(free_variables(formula), key=lambda v: v.name)
+    return forall([v.name for v in free], formula) if free else formula
+
+
+def equivalent_on_structures(first, second):
+    first, second = closed(first), closed(second)
+    return all(
+        is_true(first, world, worlds, UNIVERSE) == is_true(second, world, worlds, UNIVERSE)
+        for world, worlds in STRUCTURES
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_parser_printer_round_trip(formula):
+    assert parse(to_text(formula)) == formula
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_eliminate_implications_preserves_truth(formula):
+    assert equivalent_on_structures(formula, eliminate_implications(formula))
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_negation_normal_form_preserves_truth(formula):
+    assert equivalent_on_structures(formula, negation_normal_form(formula))
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_simplify_preserves_truth(formula):
+    assert equivalent_on_structures(formula, simplify(formula))
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_rename_apart_preserves_free_variables_and_truth(formula):
+    renamed = rename_apart(formula)
+    assert free_variables(renamed) == free_variables(formula)
+    # Quantified variables are distinct from one another and from free ones.
+    seen = set(free_variables(renamed))
+    from repro.logic.syntax import subformulas, QUANTIFIERS
+
+    for sub in subformulas(renamed):
+        if isinstance(sub, QUANTIFIERS):
+            assert sub.variable not in seen
+            seen.add(sub.variable)
+    assert equivalent_on_structures(formula, renamed)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_right_associate_preserves_conjuncts_and_truth(formula):
+    reassociated = right_associate(formula)
+    assert sorted(map(str, conjuncts(reassociated))) == sorted(map(str, conjuncts(formula)))
+    assert equivalent_on_structures(formula, reassociated)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas(modal=False))
+def test_first_order_formulas_stay_first_order_under_transforms(formula):
+    assert is_first_order(formula)
+    assert is_first_order(negation_normal_form(formula))
+    assert is_first_order(rename_apart(formula))
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), st.sampled_from(PARAMETERS), st.sampled_from(VARIABLES))
+def test_substitution_eliminates_the_variable(formula, parameter, variable):
+    substituted = Substitution({variable: parameter}).apply(formula)
+    assert variable not in free_variables(substituted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_substitution_of_fresh_variable_is_identity(formula):
+    fresh = Variable("zz_not_used")
+    assert Substitution({fresh: PARAMETERS[0]}).apply(formula) == formula

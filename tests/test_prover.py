@@ -1,0 +1,196 @@
+"""Tests for the first-order prover substrate (grounding, CNF, DPLL,
+answer enumeration)."""
+
+import pytest
+
+from repro.exceptions import NotFirstOrderError
+from repro.logic.parser import parse, parse_many
+from repro.logic.syntax import Bottom, Top
+from repro.logic.terms import Parameter, Variable
+from repro.prover.cnf import AtomTable, cnf_clauses, naive_cnf_clauses
+from repro.prover.dpll import Clause, DPLLSolver
+from repro.prover.grounding import ground_sentence, ground_theory
+from repro.prover.prove import FirstOrderProver
+from repro.semantics.config import SemanticsConfig
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+ab = (Parameter("a"), Parameter("b"))
+
+
+class TestGrounding:
+    def test_forall_becomes_conjunction(self):
+        assert ground_sentence(parse("forall x. P(x)"), ab) == parse("P(a) & P(b)")
+
+    def test_exists_becomes_disjunction(self):
+        assert ground_sentence(parse("exists x. P(x)"), ab) == parse("P(a) | P(b)")
+
+    def test_equality_is_decided(self):
+        assert isinstance(ground_sentence(parse("a = a"), ab), Top)
+        assert isinstance(ground_sentence(parse("a = b"), ab), Bottom)
+
+    def test_unique_names_inside_quantifier(self):
+        grounded = ground_sentence(parse("exists x. x = a"), ab)
+        assert isinstance(grounded, Top)
+
+    def test_modal_sentence_rejected(self):
+        with pytest.raises(NotFirstOrderError):
+            ground_sentence(parse("K p"), ab)
+
+    def test_ground_theory_drops_tautologies(self):
+        grounded = ground_theory(parse_many("a = a; P(a)"), ab)
+        assert grounded == [parse("P(a)")]
+
+
+class TestDPLL:
+    def test_satisfiable(self):
+        solver = DPLLSolver([Clause([1, 2]), Clause([-1, 2])])
+        model = solver.solve()
+        assert model is not None and model[2] is True
+
+    def test_unsatisfiable(self):
+        solver = DPLLSolver([Clause([1]), Clause([-1])])
+        assert solver.solve() is None
+
+    def test_empty_clause_is_unsat(self):
+        assert not DPLLSolver([Clause([])]).is_satisfiable()
+
+    def test_empty_problem_is_sat(self):
+        assert DPLLSolver([]).is_satisfiable()
+
+    def test_tautological_clause_is_ignored(self):
+        solver = DPLLSolver([Clause([1, -1]), Clause([2])])
+        assert solver.solve()[2] is True
+
+    def test_assumptions(self):
+        solver = DPLLSolver([Clause([1, 2])])
+        assert solver.is_satisfiable(assumptions=[-1])
+        assert not solver.is_satisfiable(assumptions=[-1, -2])
+
+    def test_conflicting_assumptions(self):
+        solver = DPLLSolver([Clause([1, 2])])
+        assert solver.solve(assumptions=[1, -1]) is None
+
+    def test_model_enumeration(self):
+        solver = DPLLSolver([Clause([1, 2])])
+        models = list(solver.enumerate_models(variables=[1, 2]))
+        assert len(models) == 3  # all assignments except both-false
+
+    def test_model_enumeration_with_limit(self):
+        solver = DPLLSolver([Clause([1, 2])])
+        assert len(list(solver.enumerate_models(limit=2, variables=[1, 2]))) == 2
+
+    def test_clause_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Clause([0])
+
+    def test_statistics_are_tracked(self):
+        solver = DPLLSolver([Clause([1, 2]), Clause([-1, 2]), Clause([1, -2]), Clause([-1, -2])])
+        solver.solve()
+        assert solver.statistics.conflicts >= 1
+
+
+class TestCNF:
+    def test_tseitin_equisatisfiable_with_naive(self):
+        samples = [
+            "P(a) & (Q(a) | R(a))",
+            "(P(a) | Q(a)) & (~P(a) | R(a)) & ~R(a)",
+            "~(P(a) & Q(a)) | R(a)",
+            "P(a) & ~P(a)",
+            "(P(a) -> Q(a)) & P(a) & ~Q(a)",
+        ]
+        for text in samples:
+            formula = parse(text)
+            tseitin, _ = cnf_clauses([formula])
+            naive, _ = naive_cnf_clauses([formula])
+            assert DPLLSolver(tseitin).is_satisfiable() == DPLLSolver(naive).is_satisfiable()
+
+    def test_atom_table_round_trip(self):
+        table = AtomTable()
+        index = table.variable_for(parse("P(a)"))
+        assert table.atom_for(index) == parse("P(a)")
+        assert table.variable_for(parse("P(a)")) == index
+        aux = table.fresh_variable()
+        assert table.atom_for(aux) is None
+
+    def test_bottom_formula_gives_empty_clause(self):
+        clauses, _ = cnf_clauses([Bottom()])
+        assert not DPLLSolver(clauses).is_satisfiable()
+
+    def test_top_formula_adds_nothing(self):
+        clauses, _ = cnf_clauses([Top()])
+        assert DPLLSolver(clauses).is_satisfiable()
+
+
+class TestFirstOrderProver:
+    def test_entails_fact(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        assert prover.entails(parse("P(a)"))
+        assert not prover.entails(parse("P(b)"))
+
+    def test_entails_by_rule(self):
+        theory = parse_many("P(a); forall x. P(x) -> Q(x)")
+        prover = FirstOrderProver.for_theory(theory, config=CONFIG)
+        assert prover.entails(parse("Q(a)"))
+
+    def test_disjunction_not_entailed_atomwise(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a) | Q(a)"), config=CONFIG)
+        assert prover.entails(parse("P(a) | Q(a)"))
+        assert not prover.entails(parse("P(a)"))
+
+    def test_existential_entailment(self):
+        prover = FirstOrderProver.for_theory(parse_many("exists x. P(x)"), config=CONFIG)
+        assert prover.entails(parse("exists x. P(x)"))
+        assert not prover.entails(parse("P(a)"))
+
+    def test_satisfiability(self):
+        assert FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG).is_satisfiable()
+        assert not FirstOrderProver.for_theory(parse_many("P(a); ~P(a)"), config=CONFIG).is_satisfiable()
+
+    def test_consistent_with(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        assert prover.consistent_with(parse("Q(a)"))
+        assert not prover.consistent_with(parse("~P(a)"))
+
+    def test_rejects_modal_sentences(self):
+        with pytest.raises(NotFirstOrderError):
+            FirstOrderProver.for_theory(parse_many("K p"), config=CONFIG)
+
+    def test_entails_rejects_open_formulas(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        with pytest.raises(ValueError):
+            prover.entails(parse("P(?x)"))
+
+    def test_enumerate_answers_order_and_content(self):
+        theory = parse_many("P(a); P(b); forall x. P(x) -> Q(x)")
+        prover = FirstOrderProver.for_theory(theory, config=CONFIG)
+        answers = [s[Variable("x")] for s in prover.enumerate_answers(parse("Q(?x)"))]
+        assert set(answers) == {Parameter("a"), Parameter("b")}
+        # Deterministic lexicographic order over the universe.
+        assert answers == sorted(answers, key=lambda p: p.name)
+
+    def test_enumerate_answers_sentence(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        assert len(prover.all_answers(parse("P(a)"))) == 1
+        assert prover.all_answers(parse("P(b)")) == []
+
+    def test_holds_instance(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        assert prover.holds_instance(parse("P(?x)"), {Variable("x"): Parameter("a")})
+
+    def test_entailment_cache_and_statistics(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a)"), config=CONFIG)
+        prover.entails(parse("P(a)"))
+        first = prover.statistics.entailment_checks
+        prover.entails(parse("P(a)"))
+        assert prover.statistics.entailment_checks == first
+
+    def test_universe_covers_query_parameters(self):
+        prover = FirstOrderProver.for_theory(
+            parse_many("P(a)"), queries=[parse("P(zzz)")], config=CONFIG
+        )
+        assert Parameter("zzz") in prover.universe
+
+    def test_repr_and_counts(self):
+        prover = FirstOrderProver.for_theory(parse_many("P(a); Q(b)"), config=CONFIG)
+        assert prover.clause_count() >= 2
+        assert "FirstOrderProver" in repr(prover)

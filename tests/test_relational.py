@@ -1,0 +1,183 @@
+"""Tests for the relational substrate: schemas, algebra, dependencies."""
+
+import pytest
+
+from repro.exceptions import ArityMismatchError, UnknownPredicateError
+from repro.logic.builders import atom
+from repro.logic.classify import is_first_order, is_subjective
+from repro.logic.parser import parse
+from repro.logic.terms import Parameter
+from repro.relational.algebra import (
+    Relation,
+    difference,
+    join,
+    project,
+    relation_of,
+    rename,
+    select,
+    select_eq,
+    union,
+)
+from repro.relational.dependencies import FunctionalDependency, InclusionDependency
+from repro.relational.schema import RelationSchema, RelationalDatabase
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.reduction import EpistemicReducer
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+def sample_db():
+    db = RelationalDatabase()
+    db.add_schema("emp", ["name", "dept"])
+    db.add_schema("ss", ["person", "number"])
+    db.add_schema("dept", ["name"])
+    db.insert_many("emp", [("Mary", "Sales"), ("Bill", "IT")])
+    db.insert("ss", "Bill", "n123")
+    db.insert("dept", "Sales")
+    db.insert("dept", "IT")
+    return db
+
+
+class TestSchema:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("r", ("a", "a"))
+
+    def test_duplicate_relation_rejected(self):
+        db = sample_db()
+        with pytest.raises(ValueError):
+            db.add_schema("emp", ["x"])
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownPredicateError):
+            sample_db().tuples("nope")
+
+    def test_arity_checked_on_insert(self):
+        with pytest.raises(ArityMismatchError):
+            sample_db().insert("emp", "only-one")
+
+    def test_insert_delete_cardinality(self):
+        db = sample_db()
+        assert db.cardinality("emp") == 2
+        assert db.delete("emp", "Mary", "Sales")
+        assert not db.delete("emp", "Mary", "Sales")
+        assert db.cardinality("emp") == 1
+        assert db.cardinality() == 4
+
+    def test_active_domain(self):
+        assert Parameter("n123") in sample_db().active_domain()
+
+    def test_conversions(self):
+        db = sample_db()
+        atoms = db.to_atoms()
+        assert atom("emp", "Mary", "Sales") in atoms
+        world = db.to_world()
+        assert world.holds(atom("ss", "Bill", "n123"))
+        program = db.to_datalog()
+        assert len(program.facts) == db.cardinality()
+
+    def test_from_atoms_round_trip(self):
+        db = sample_db()
+        rebuilt = RelationalDatabase.from_atoms(db.to_atoms())
+        assert set(rebuilt.to_atoms()) == set(db.to_atoms())
+
+
+class TestAlgebra:
+    def test_select_and_project(self):
+        emp = relation_of(sample_db(), "emp")
+        sales = select(emp, lambda row: row["dept"] == Parameter("Sales"))
+        assert len(sales) == 1
+        names = project(sales, ["name"])
+        assert names.column("name") == {Parameter("Mary")}
+
+    def test_select_eq(self):
+        emp = relation_of(sample_db(), "emp")
+        assert len(select_eq(emp, "dept", "IT")) == 1
+
+    def test_join(self):
+        db = sample_db()
+        emp = rename(relation_of(db, "emp"), {"name": "person"})
+        joined = join(emp, relation_of(db, "ss"))
+        assert len(joined) == 1
+        assert joined.column("number") == {Parameter("n123")}
+
+    def test_union_difference(self):
+        emp = relation_of(sample_db(), "emp")
+        assert len(union(emp, emp)) == 2
+        assert len(difference(emp, emp)) == 0
+
+    def test_union_requires_same_attributes(self):
+        db = sample_db()
+        with pytest.raises(ValueError):
+            union(relation_of(db, "emp"), relation_of(db, "ss"))
+
+    def test_rename_rejects_clash(self):
+        emp = relation_of(sample_db(), "emp")
+        with pytest.raises(ValueError):
+            rename(emp, {"name": "dept"})
+
+    def test_relation_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            Relation(("a", "b"), [(Parameter("x"),)])
+
+
+class TestFunctionalDependency:
+    def test_holds_in_clean_instance(self):
+        fd = FunctionalDependency("ss", ("person",), ("number",))
+        assert fd.holds_in(sample_db())
+
+    def test_violation_detected(self):
+        db = sample_db()
+        db.insert("ss", "Bill", "n999")
+        fd = FunctionalDependency("ss", ("person",), ("number",))
+        assert not fd.holds_in(db)
+        assert len(fd.violations(db)) == 1
+
+    def test_first_order_formula_shape(self):
+        fd = FunctionalDependency("ss", ("person",), ("number",))
+        formula = fd.first_order(sample_db())
+        assert is_first_order(formula)
+        assert "forall" in str(formula)
+
+    def test_modal_formula_is_subjective(self):
+        fd = FunctionalDependency("ss", ("person",), ("number",))
+        assert is_subjective(fd.modal(sample_db()))
+
+    def test_modal_check_on_open_database(self):
+        # An open database with two *known* numbers for Bill violates the
+        # modal constraint even without the CWA.
+        db = sample_db()
+        db.insert("ss", "Bill", "n999")
+        fd = FunctionalDependency("ss", ("person",), ("number",))
+        constraint = fd.modal(db)
+        reducer = EpistemicReducer(db.to_theory(), config=CONFIG, queries=[constraint])
+        assert not reducer.entails(constraint)
+
+    def test_str(self):
+        assert "person -> number" in str(FunctionalDependency("ss", ("person",), ("number",)))
+
+
+class TestInclusionDependency:
+    def test_holds_and_violations(self):
+        db = sample_db()
+        ind = InclusionDependency("emp", ("dept",), "dept", ("name",))
+        assert ind.holds_in(db)
+        db.insert("emp", "Zoe", "R&D")
+        assert not ind.holds_in(db)
+        assert len(ind.violations(db)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InclusionDependency("emp", ("dept",), "dept", ("name", "extra"))
+
+    def test_first_order_formula(self):
+        ind = InclusionDependency("emp", ("dept",), "dept", ("name",))
+        formula = ind.first_order(sample_db())
+        assert is_first_order(formula)
+
+    def test_modal_formula_is_epistemic(self):
+        ind = InclusionDependency("emp", ("dept",), "dept", ("name",))
+        assert not is_first_order(ind.modal(sample_db()))
+
+    def test_str(self):
+        assert "⊆" in str(InclusionDependency("emp", ("dept",), "dept", ("name",)))

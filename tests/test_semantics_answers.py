@@ -1,0 +1,52 @@
+"""Tests for the Answer value type."""
+
+import pytest
+
+from repro.logic.terms import Parameter
+from repro.semantics.answers import Answer, AnswerStatus, no, unknown, yes
+
+
+class TestAnswer:
+    def test_status_predicates(self):
+        assert yes().is_yes and not yes().is_no
+        assert no().is_no and not no().is_unknown
+        assert unknown().is_unknown
+
+    def test_str_for_sentences(self):
+        assert str(yes()) == "yes"
+        assert str(no()) == "no"
+        assert str(unknown()) == "unknown"
+
+    def test_str_for_bindings(self):
+        answer = yes(bindings=[(Parameter("Math"),)], variables=["c"])
+        assert "Math" in str(answer)
+
+    def test_str_with_indefinite_groups(self):
+        group = frozenset({(Parameter("Mary"),), (Parameter("Sue"),)})
+        answer = yes(variables=["x"], indefinite=[group])
+        rendered = str(answer)
+        assert "Mary" in rendered and "Sue" in rendered and "or" in rendered
+
+    def test_str_open_query_without_answers(self):
+        answer = unknown(variables=["x"])
+        assert "no definite answers" in str(answer)
+
+    def test_tuples_and_values(self):
+        answer = yes(bindings=[(Parameter("a"),), (Parameter("b"),)], variables=["x"])
+        assert answer.tuples() == {(Parameter("a"),), (Parameter("b"),)}
+        assert answer.values() == {Parameter("a"), Parameter("b")}
+
+    def test_values_requires_single_variable(self):
+        answer = yes(bindings=[(Parameter("a"), Parameter("b"))], variables=["x", "y"])
+        with pytest.raises(ValueError):
+            answer.values()
+
+    def test_status_enum_str(self):
+        assert str(AnswerStatus.YES) == "yes"
+        assert AnswerStatus("unknown") is AnswerStatus.UNKNOWN
+
+    def test_answers_are_immutable_value_objects(self):
+        first = Answer(AnswerStatus.YES, ((Parameter("a"),),), ("x",))
+        second = Answer(AnswerStatus.YES, ((Parameter("a"),),), ("x",))
+        assert first == second
+        assert hash(first) == hash(second)

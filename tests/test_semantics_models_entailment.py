@@ -1,0 +1,155 @@
+"""Tests for model enumeration and Definition 2.1 entailment/answers."""
+
+import pytest
+
+from repro.exceptions import UniverseTooLargeError
+from repro.logic.parser import parse, parse_many
+from repro.logic.terms import Parameter
+from repro.semantics.answers import AnswerStatus
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.entailment import (
+    answers,
+    ask,
+    entails,
+    indefinite_answers,
+    is_satisfiable,
+)
+from repro.semantics.models import (
+    active_universe,
+    enumerate_models,
+    enumerate_worlds,
+    minimal_models,
+    relevant_atoms,
+)
+from repro.semantics.worlds import World
+
+CONFIG = SemanticsConfig(extra_parameters=1)
+
+
+class TestRelevantAtoms:
+    def test_relevant_atoms_cover_theory_and_query(self):
+        theory = parse_many("P(a)")
+        query = parse("Q(b)")
+        atoms = relevant_atoms(theory, [query], config=CONFIG)
+        names = {(a.predicate, tuple(p.name for p in a.args)) for a in atoms}
+        assert ("P", ("a",)) in names and ("Q", ("b",)) in names
+
+    def test_open_queries_contribute_all_instances(self):
+        atoms = relevant_atoms([], [parse("P(?x)")], config=CONFIG)
+        assert len(atoms) >= 1
+
+    def test_universe_includes_fresh_witnesses(self):
+        universe = active_universe(parse_many("P(a)"), config=CONFIG)
+        assert Parameter("a") in universe
+        assert len(universe) == 2  # a plus one fresh witness
+
+
+class TestEnumeration:
+    def test_enumerate_worlds_counts(self):
+        atoms = relevant_atoms(parse_many("P(a); P(b)"), config=CONFIG)
+        assert len(list(enumerate_worlds(atoms, config=CONFIG))) == 2 ** len(atoms)
+
+    def test_enumerate_worlds_respects_limit(self):
+        config = SemanticsConfig(max_relevant_atoms=2)
+        atoms = relevant_atoms(parse_many("P(a); P(b); P(c)"), config=config)
+        with pytest.raises(UniverseTooLargeError):
+            list(enumerate_worlds(atoms, config=config))
+
+    def test_models_satisfy_theory(self):
+        theory = parse_many("P(a); P(a) -> Q(a)")
+        models, universe = enumerate_models(theory, config=CONFIG)
+        assert models
+        for world in models:
+            assert world.holds(parse("P(a)"))
+            assert world.holds(parse("Q(a)"))
+
+    def test_unsatisfiable_theory_has_no_models(self):
+        models, _ = enumerate_models(parse_many("P(a); ~P(a)"), config=CONFIG)
+        assert not models
+
+    def test_minimal_models(self):
+        worlds = {World([parse("P(a)")]), World([parse("P(a)"), parse("P(b)")]), World([parse("P(b)")])}
+        minimal = minimal_models(worlds)
+        assert World([parse("P(a)"), parse("P(b)")]) not in minimal
+        assert len(minimal) == 2
+
+
+class TestEntailment:
+    def test_fact_is_entailed(self):
+        assert entails(parse_many("P(a)"), parse("P(a)"), config=CONFIG)
+
+    def test_unknown_fact_not_entailed(self):
+        theory = parse_many("P(a) | P(b)")
+        assert not entails(theory, parse("P(a)"), config=CONFIG)
+        assert not entails(theory, parse("~P(a)"), config=CONFIG)
+
+    def test_know_of_disjunction(self):
+        theory = parse_many("P(a) | P(b)")
+        assert entails(theory, parse("K (P(a) | P(b))"), config=CONFIG)
+        assert entails(theory, parse("~K P(a)"), config=CONFIG)
+
+    def test_unsatisfiable_theory_entails_everything(self):
+        theory = parse_many("P(a); ~P(a)")
+        assert entails(theory, parse("Q(z)"), config=CONFIG)
+
+    def test_is_satisfiable(self):
+        assert is_satisfiable(parse_many("P(a) | P(b)"), config=CONFIG)
+        assert not is_satisfiable(parse_many("P(a); ~P(a)"), config=CONFIG)
+
+
+class TestAsk:
+    def test_yes_no_unknown(self):
+        theory = parse_many("P(a); ~Q(a)")
+        assert ask(theory, parse("P(a)"), config=CONFIG).status is AnswerStatus.YES
+        assert ask(theory, parse("Q(a)"), config=CONFIG).status is AnswerStatus.NO
+        assert ask(theory, parse("R(a)"), config=CONFIG).status is AnswerStatus.UNKNOWN
+
+    def test_ask_rejects_open_queries(self):
+        with pytest.raises(ValueError):
+            ask(parse_many("P(a)"), parse("P(?x)"), config=CONFIG)
+
+    def test_propositional_warmup(self):
+        # Σ = {p ∨ q} from the introduction.
+        theory = parse_many("p | q")
+        assert ask(theory, parse("p"), config=CONFIG).is_unknown
+        assert ask(theory, parse("K p"), config=CONFIG).is_no
+        assert ask(theory, parse("K p | K ~p"), config=CONFIG).is_no
+
+
+class TestAnswers:
+    def test_definite_answers(self):
+        theory = parse_many("Teach(John, Math); Teach(Ann, CS)")
+        result = answers(theory, parse("K Teach(?who, Math)"), config=CONFIG)
+        assert result.is_yes
+        assert result.values() == {Parameter("John")}
+
+    def test_no_definite_answers_is_unknown(self):
+        theory = parse_many("Teach(Mary, Psych) | Teach(Sue, Psych)")
+        result = answers(theory, parse("K Teach(?who, Psych)"), config=CONFIG)
+        assert result.is_unknown
+        assert not result.bindings
+
+    def test_indefinite_answers(self):
+        theory = parse_many("Teach(Mary, Psych) | Teach(Sue, Psych)")
+        result = indefinite_answers(theory, parse("Teach(?who, Psych)"), config=CONFIG)
+        assert result.is_yes
+        assert not result.bindings
+        assert len(result.indefinite) == 1
+        group = next(iter(result.indefinite))
+        assert {t[0].name for t in group} == {"Mary", "Sue"}
+
+    def test_indefinite_answers_exclude_definite_supersets(self):
+        theory = parse_many("Teach(Mary, Psych)")
+        result = indefinite_answers(theory, parse("Teach(?who, Psych)"), config=CONFIG)
+        assert (Parameter("Mary"),) in result.bindings
+        assert not result.indefinite
+
+    def test_indefinite_requires_open_query(self):
+        with pytest.raises(ValueError):
+            indefinite_answers(parse_many("p"), parse("p"), config=CONFIG)
+
+    def test_answer_rendering(self):
+        theory = parse_many("Teach(John, Math)")
+        result = answers(theory, parse("K Teach(?who, Math)"), config=CONFIG)
+        assert "John" in str(result)
+        assert str(ask(theory, parse("Teach(John, Math)"), config=CONFIG)) == "yes"

@@ -1,0 +1,135 @@
+"""Tests for KFOPCE validity checking and the prover-based reduction."""
+
+import pytest
+
+from repro.exceptions import UniverseTooLargeError
+from repro.logic.parser import parse, parse_many
+from repro.semantics.answers import AnswerStatus
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.kfopce_validity import (
+    kfopce_counterexample,
+    kfopce_equivalent,
+    kfopce_equivalent_under,
+    kfopce_implies,
+    kfopce_valid,
+)
+from repro.semantics.reduction import EpistemicReducer
+from repro.semantics import entailment as oracle
+
+SMALL = SemanticsConfig(extra_parameters=1, max_validity_atoms=4)
+
+
+class TestKfopceValidity:
+    def test_tautology(self):
+        assert kfopce_valid(parse("p | ~p"), config=SMALL)
+
+    def test_k_distributes_over_conjunction(self):
+        assert kfopce_valid(parse("K (p & q) <-> (K p & K q)"), config=SMALL)
+
+    def test_k_does_not_distribute_over_disjunction(self):
+        assert not kfopce_valid(parse("K (p | q) -> (K p | K q)"), config=SMALL)
+
+    def test_knowledge_does_not_imply_truth(self):
+        # Weak S5: the current world need not be a member of 𝒮, so K p -> p
+        # is not valid (the database can be wrong about the world).
+        assert not kfopce_valid(parse("K p -> p"), config=SMALL)
+
+    def test_positive_introspection(self):
+        assert kfopce_valid(parse("K p -> K K p"), config=SMALL)
+
+    def test_negative_introspection_requires_care(self):
+        # ~K p -> K ~K p is the 5-axiom; it holds in this semantics because
+        # K truth only depends on 𝒮.
+        assert kfopce_valid(parse("~K p -> K ~K p"), config=SMALL)
+
+    def test_not_valid_atom(self):
+        assert not kfopce_valid(parse("p"), config=SMALL)
+
+    def test_size_limit(self):
+        config = SemanticsConfig(extra_parameters=1, max_validity_atoms=1)
+        with pytest.raises(UniverseTooLargeError):
+            kfopce_valid(parse("p | q | r"), config=config)
+
+    def test_counterexample_search(self):
+        found = kfopce_counterexample(parse("K p"), config=SMALL)
+        assert found is not None
+        assert kfopce_counterexample(parse("p | ~p"), config=SMALL, samples=200) is None
+
+
+class TestEquivalences:
+    def test_constraint_equivalence_example_5_4(self):
+        original = parse("forall x. ~K (male(x) & female(x))")
+        admissible = parse("~(exists x. K (male(x) & female(x)))")
+        assert kfopce_equivalent(original, admissible, config=SMALL)
+
+    def test_non_equivalent(self):
+        assert not kfopce_equivalent(parse("K p"), parse("K q"), config=SMALL)
+
+    def test_implication(self):
+        assert kfopce_implies(parse("K p & K q"), parse("K p"), config=SMALL)
+        assert not kfopce_implies(parse("K p"), parse("K q"), config=SMALL)
+
+    def test_query_equivalence_under_constraint(self):
+        constraint = parse("K p -> K q")
+        assert kfopce_equivalent_under(constraint, parse("K p & K q"), parse("K p"), config=SMALL)
+        assert not kfopce_equivalent_under(
+            parse("K q -> K p"), parse("K p & K q"), parse("K p"), config=SMALL
+        )
+
+    def test_query_equivalence_requires_same_free_variables(self):
+        with pytest.raises(ValueError):
+            kfopce_equivalent_under(parse("K p"), parse("K q(?x)"), parse("K q"), config=SMALL)
+
+
+class TestReducerAgainstOracle:
+    """The prover-based reduction must agree with Definition 2.1's model
+    enumeration — spot checks here, broader property tests elsewhere."""
+
+    THEORY = """
+    Teach(John, Math)
+    exists x. Teach(x, CS)
+    Teach(Mary, Psych) | Teach(Sue, Psych)
+    """
+
+    QUERIES = [
+        "Teach(Mary, CS)",
+        "K Teach(Mary, CS)",
+        "~K Teach(Mary, CS)",
+        "exists x. K Teach(John, x)",
+        "exists x. K Teach(x, CS)",
+        "K exists x. Teach(x, CS)",
+        "exists x. Teach(x, Psych)",
+        "K Teach(Mary, Psych) | K Teach(Sue, Psych)",
+        "K (Teach(Mary, Psych) | Teach(Sue, Psych))",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_agreement(self, query_text):
+        theory = parse_many(self.THEORY)
+        query = parse(query_text)
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[query])
+        assert reducer.entails(query) == oracle.entails(theory, query, config=SMALL)
+
+    def test_reducer_ask(self):
+        theory = parse_many(self.THEORY)
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[parse("Teach(Mary, CS)")])
+        assert reducer.ask(parse("Teach(Mary, CS)")).status is AnswerStatus.UNKNOWN
+        assert reducer.ask(parse("K Teach(John, Math)")).status is AnswerStatus.YES
+
+    def test_reducer_answers(self):
+        theory = parse_many(self.THEORY)
+        query = parse("K Teach(John, ?c)")
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[query])
+        result = reducer.answers(query)
+        assert result.values() == {parse("Teach(John, Math)").args[1]}
+
+    def test_reducer_rejects_open_sentence_api(self):
+        reducer = EpistemicReducer(parse_many("p"), config=SMALL)
+        with pytest.raises(ValueError):
+            reducer.entails(parse("q(?x)"))
+
+    def test_unsatisfiable_database_entails_everything(self):
+        theory = parse_many("p; ~p")
+        reducer = EpistemicReducer(theory, config=SMALL, queries=[parse("q")])
+        assert reducer.entails(parse("q"))
+        assert reducer.entails(parse("K q"))

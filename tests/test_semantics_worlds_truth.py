@@ -1,0 +1,125 @@
+"""Tests for worlds and the KFOPCE truth recursion (Section 2)."""
+
+import pytest
+
+from repro.exceptions import NotASentenceError
+from repro.logic.builders import atom, param
+from repro.logic.parser import parse
+from repro.logic.syntax import Equals
+from repro.logic.terms import Parameter, Variable
+from repro.semantics.truth import is_true, is_true_in_world, theory_holds_in_world
+from repro.semantics.worlds import World
+
+a, b, c = param("a"), param("b"), param("c")
+P = lambda *args: atom("P", *args)
+Q = lambda *args: atom("Q", *args)
+UNIVERSE = (a, b, c)
+
+
+class TestWorld:
+    def test_holds(self):
+        world = World([P("a"), Q("a", "b")])
+        assert world.holds(P("a"))
+        assert not world.holds(P("b"))
+
+    def test_equality_atoms_hold_by_identity(self):
+        world = World.empty()
+        assert world.holds(Equals(a, a))
+        assert not world.holds(Equals(a, b))
+
+    def test_rejects_distinct_parameter_equality(self):
+        with pytest.raises(ValueError):
+            World([Equals(a, b)])
+
+    def test_rejects_non_ground_atoms(self):
+        with pytest.raises(ValueError):
+            World([atom("P", "?x")])
+
+    def test_identical_equality_atoms_are_dropped(self):
+        assert len(World([Equals(a, a), P("a")])) == 1
+
+    def test_hash_and_equality(self):
+        assert World([P("a")]) == World([P("a")])
+        assert len({World([P("a")]), World([P("a")])}) == 1
+
+    def test_with_and_without(self):
+        world = World([P("a")])
+        assert world.with_atom(P("b")).holds(P("b"))
+        assert not world.without_atom(P("a")).holds(P("a"))
+        assert world.holds(P("a"))  # original untouched
+
+    def test_subset_ordering(self):
+        assert World([P("a")]) < World([P("a"), P("b")])
+        assert not World([P("a")]) < World([P("b")])
+
+    def test_parameters_and_facts_for(self):
+        world = World([Q("a", "b"), P("c")])
+        assert world.parameters() == {a, b, c}
+        assert world.facts_for("Q") == {(a, b)}
+
+    def test_restrict(self):
+        world = World([P("a"), P("b")])
+        assert world.restrict([P("a")]) == World([P("a")])
+
+    def test_iteration_is_deterministic(self):
+        world = World([P("b"), P("a")])
+        assert list(world) == [P("a"), P("b")]
+
+
+class TestTruthRecursion:
+    def test_atomic(self):
+        world = World([P("a")])
+        assert is_true(parse("P(a)"), world, set(), UNIVERSE)
+        assert not is_true(parse("P(b)"), world, set(), UNIVERSE)
+
+    def test_equality_unique_names(self):
+        world = World.empty()
+        assert is_true(parse("a = a"), world, set(), UNIVERSE)
+        assert not is_true(parse("a = b"), world, set(), UNIVERSE)
+
+    def test_boolean_connectives(self):
+        world = World([P("a")])
+        assert is_true(parse("P(a) | P(b)"), world, set(), UNIVERSE)
+        assert not is_true(parse("P(a) & P(b)"), world, set(), UNIVERSE)
+        assert is_true(parse("P(b) -> P(c)"), world, set(), UNIVERSE)
+        assert is_true(parse("P(a) <-> P(a)"), world, set(), UNIVERSE)
+        assert is_true(parse("true"), world, set(), UNIVERSE)
+        assert not is_true(parse("false"), world, set(), UNIVERSE)
+
+    def test_quantifiers_range_over_universe(self):
+        world = World([P("a"), P("b"), P("c")])
+        assert is_true(parse("forall x. P(x)"), world, set(), UNIVERSE)
+        assert is_true(parse("exists x. P(x)"), World([P("b")]), set(), UNIVERSE)
+        assert not is_true(parse("forall x. P(x)"), World([P("a")]), set(), UNIVERSE)
+
+    def test_know_quantifies_over_world_set(self):
+        worlds = {World([P("a")]), World([P("a"), P("b")])}
+        anywhere = World.empty()
+        assert is_true(parse("K P(a)"), anywhere, worlds, UNIVERSE)
+        assert not is_true(parse("K P(b)"), anywhere, worlds, UNIVERSE)
+
+    def test_know_of_disjunction(self):
+        worlds = {World([P("a")]), World([P("b")])}
+        assert is_true(parse("K (P(a) | P(b))"), World.empty(), worlds, UNIVERSE)
+        assert not is_true(parse("K P(a) | K P(b)"), World.empty(), worlds, UNIVERSE)
+
+    def test_know_with_empty_world_set_is_vacuously_true(self):
+        assert is_true(parse("K false"), World.empty(), set(), UNIVERSE)
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(NotASentenceError):
+            is_true(parse("P(?x)"), World.empty(), set(), UNIVERSE)
+
+    def test_first_order_truth_ignores_world_set(self):
+        world = World([P("a")])
+        assert is_true_in_world(parse("P(a)"), world, UNIVERSE)
+
+    def test_theory_holds_in_world(self):
+        theory = [parse("P(a)"), parse("exists x. Q(x, x)")]
+        assert theory_holds_in_world(theory, World([P("a"), Q("b", "b")]), UNIVERSE)
+        assert not theory_holds_in_world(theory, World([P("a")]), UNIVERSE)
+
+    def test_nested_know(self):
+        worlds = {World([P("a")])}
+        assert is_true(parse("K K P(a)"), World.empty(), worlds, UNIVERSE)
+        assert is_true(parse("~K K P(b)"), World.empty(), worlds, UNIVERSE)

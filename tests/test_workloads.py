@@ -1,0 +1,89 @@
+"""Tests for the workload builders and generators."""
+
+import pytest
+
+from repro.logic.classify import is_elementary_theory, is_first_order, is_normal_query, is_safe
+from repro.logic.syntax import free_variables
+from repro.workloads.employees import (
+    employee_constraints,
+    employee_database,
+    employee_queries,
+    ss_constraint_first_order,
+    ss_constraint_modal,
+)
+from repro.workloads.generators import (
+    chain_datalog_program,
+    random_elementary_database,
+    random_normal_query,
+    random_relational_instance,
+)
+from repro.workloads.university import (
+    propositional_database,
+    propositional_queries,
+    university_database,
+    university_queries,
+)
+
+
+class TestUniversityWorkload:
+    def test_database_shape(self):
+        theory = university_database()
+        assert len(theory) == 3
+        assert all(is_first_order(s) for s in theory)
+
+    def test_queries_carry_expectations(self):
+        queries = university_queries()
+        assert len(queries) == 11
+        assert {expected for _, _, expected in queries} == {"yes", "no", "unknown"}
+
+    def test_propositional_warmup(self):
+        assert len(propositional_database()) == 1
+        assert len(propositional_queries()) == 3
+
+
+class TestEmployeeWorkload:
+    def test_databases(self):
+        assert employee_database("empty") == []
+        assert len(employee_database("violating")) == 1
+        assert len(employee_database("personnel")) > 5
+        with pytest.raises(ValueError):
+            employee_database("nope")
+
+    def test_constraints_are_epistemic(self):
+        constraints = employee_constraints()
+        assert len(constraints) >= 6
+        assert all(not is_first_order(c) for c in constraints.values())
+
+    def test_query_pairs_share_free_variables(self):
+        for original, optimized in employee_queries():
+            assert free_variables(original) >= free_variables(optimized)
+
+    def test_ss_constraint_readings(self):
+        assert is_first_order(ss_constraint_first_order())
+        assert not is_first_order(ss_constraint_modal())
+
+
+class TestGenerators:
+    def test_random_elementary_database_is_elementary(self):
+        theory = random_elementary_database(facts=15, rules=2, seed=3)
+        assert is_elementary_theory(theory)
+
+    def test_random_elementary_database_is_deterministic_per_seed(self):
+        assert random_elementary_database(seed=7) == random_elementary_database(seed=7)
+        assert random_elementary_database(seed=7) != random_elementary_database(seed=8)
+
+    def test_random_normal_query_is_safe_and_normal(self):
+        for seed in range(10):
+            query = random_normal_query(seed=seed)
+            assert is_normal_query(query)
+            assert is_safe(query)
+
+    def test_random_relational_instance(self):
+        instance = random_relational_instance(rows=30, width=2, seed=1)
+        assert instance.cardinality("R") <= 30  # duplicates collapse
+        assert instance.schema("R").arity == 2
+
+    def test_chain_datalog_program(self):
+        program = chain_datalog_program(length=5, fanout=0)
+        assert len(program.facts) == 5
+        assert len(program.rules) == 2
