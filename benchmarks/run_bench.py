@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Run the Datalog evaluation benchmark matrix and emit ``BENCH_datalog.json``.
+
+Times every evaluation strategy (naive, semi-naive, indexed) across a grid of
+workload sizes — transitive closure, same-generation and join-heavy chains —
+verifying along the way that every strategy computes the identical least
+model.  The JSON it writes is the perf trajectory future PRs diff against.
+
+Usage::
+
+    python benchmarks/run_bench.py                 # full matrix
+    python benchmarks/run_bench.py --quick         # small sizes only
+    python benchmarks/run_bench.py --check         # fail unless the indexed
+                                                   # strategy is >= 5x faster
+                                                   # than unindexed semi-naive
+                                                   # on the largest TC workload
+    python benchmarks/run_bench.py --experiments   # also run the E7/E9 pytest
+                                                   # benchmarks and record
+                                                   # their outcome
+
+The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
+nested-loop joins are the quadratic-and-worse baseline the ablation exists to
+show); skipped cells are recorded as ``null``.
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    join_chain_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+FULL_MATRIX = [
+    ("transitive_closure", transitive_closure_program,
+     [dict(chains=50, length=5), dict(chains=100, length=5),
+      dict(chains=200, length=5), dict(chains=400, length=5)]),
+    ("same_generation", same_generation_program,
+     [dict(depth=4, branching=2), dict(depth=5, branching=2),
+      dict(depth=6, branching=2)]),
+    ("join_chain", join_chain_program,
+     [dict(relations=3, rows=100), dict(relations=3, rows=200),
+      dict(relations=3, rows=400)]),
+]
+
+QUICK_MATRIX = [
+    ("transitive_closure", transitive_closure_program,
+     [dict(chains=50, length=5), dict(chains=100, length=5)]),
+    ("same_generation", same_generation_program, [dict(depth=4, branching=2)]),
+    ("join_chain", join_chain_program, [dict(relations=3, rows=100)]),
+]
+
+
+def measure(builder, params, strategy, repeats):
+    """Time ``least_model()`` for one cell; the program (and so the index)
+    is rebuilt for every repeat so index construction is always included."""
+    best = None
+    model = None
+    statistics = None
+    for _ in range(repeats):
+        program = builder(**params)
+        engine = DatalogEngine(program, strategy=strategy)
+        start = time.perf_counter()
+        model = engine.least_model()
+        elapsed = time.perf_counter() - start
+        statistics = engine.statistics
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, model, statistics
+
+
+def run_matrix(matrix, naive_cap, repeats):
+    rows = []
+    for workload, builder, parameter_grid in matrix:
+        for params in parameter_grid:
+            program = builder(**params)
+            facts = len(program.facts)
+            cell = {
+                "workload": workload,
+                "params": params,
+                "facts": facts,
+                "strategies": {},
+            }
+            models = {}
+            for strategy in STRATEGIES:
+                if strategy == "naive" and facts > naive_cap:
+                    cell["strategies"][strategy] = None
+                    continue
+                seconds, model, statistics = measure(builder, params, strategy, repeats)
+                models[strategy] = model
+                cell["strategies"][strategy] = {
+                    "seconds": round(seconds, 6),
+                    "model_size": len(model),
+                    "iterations": statistics.iterations,
+                    "rule_applications": statistics.rule_applications,
+                    "facts_derived": statistics.facts_derived,
+                }
+            distinct = {m for m in models.values()}
+            cell["models_identical"] = len(distinct) == 1
+            if not cell["models_identical"]:
+                raise SystemExit(
+                    f"strategies disagree on {workload} {params}: "
+                    + ", ".join(f"{s}={len(m)}" for s, m in models.items())
+                )
+            semi = cell["strategies"].get("semi-naive")
+            indexed = cell["strategies"].get("indexed")
+            if semi and indexed and indexed["seconds"] > 0:
+                cell["speedup_indexed_vs_semi_naive"] = round(
+                    semi["seconds"] / indexed["seconds"], 2
+                )
+            rows.append(cell)
+            printable = {
+                s: (f"{v['seconds'] * 1000:.1f} ms" if v else "-")
+                for s, v in cell["strategies"].items()
+            }
+            print(f"{workload} {params} ({facts} facts): {printable}")
+    return rows
+
+
+def run_experiments():
+    """Run the E7/E9 pytest benchmarks and record their outcome."""
+    results = {}
+    for experiment, module in (
+        ("e7_closed_world", "bench_e7_closed_world.py"),
+        ("e9_ablations", "bench_e9_ablations.py"),
+    ):
+        start = time.perf_counter()
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", str(ROOT / "benchmarks" / module)],
+            env={**__import__("os").environ, "PYTHONPATH": str(ROOT / "src")},
+            capture_output=True,
+            text=True,
+        )
+        results[experiment] = {
+            "passed": completed.returncode == 0,
+            "seconds": round(time.perf_counter() - start, 2),
+            "tail": completed.stdout.strip().splitlines()[-1:]
+        }
+        print(f"{experiment}: {'ok' if completed.returncode == 0 else 'FAILED'}")
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path, default=ROOT / "BENCH_datalog.json")
+    parser.add_argument("--quick", action="store_true", help="small sizes only")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--naive-cap", type=int, default=600,
+                        help="skip the naive strategy above this many facts")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless indexed is >= 5x faster than "
+                             "semi-naive on the largest transitive-closure workload")
+    parser.add_argument("--experiments", action="store_true",
+                        help="also run the E7/E9 pytest benchmarks")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    rows = run_matrix(matrix, args.naive_cap, args.repeats)
+    report = {
+        "generated_by": "benchmarks/run_bench.py",
+        "python": platform.python_version(),
+        "repeats": args.repeats,
+        "rows": rows,
+    }
+    if args.experiments:
+        report["experiments"] = run_experiments()
+
+    tc_rows = [r for r in rows if r["workload"] == "transitive_closure"
+               and "speedup_indexed_vs_semi_naive" in r]
+    if tc_rows:
+        largest = max(tc_rows, key=lambda r: r["facts"])
+        speedup = largest["speedup_indexed_vs_semi_naive"]
+        report["headline"] = {
+            "workload": "transitive_closure",
+            "facts": largest["facts"],
+            "speedup_indexed_vs_semi_naive": speedup,
+        }
+        print(f"headline: indexed is {speedup}x faster than semi-naive "
+              f"on {largest['facts']} TC facts")
+        if args.check and speedup < 5.0:
+            raise SystemExit(f"--check failed: speedup {speedup} < 5.0")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,15 +9,18 @@ This subpackage provides that substrate:
 
 * :mod:`repro.datalog.program` — facts, rules (with optional stratified
   negation in rule bodies), programs, and conversion to/from FOPCE sentences;
-* :mod:`repro.datalog.engine` — naive and semi-naive bottom-up evaluation
-  with stratified negation;
+* :mod:`repro.datalog.engine` — naive, semi-naive and indexed semi-naive
+  bottom-up evaluation with stratified negation;
+* :mod:`repro.datalog.index` — hash indexes over ground facts (per
+  relation and per argument position) backing the indexed strategy;
 * :mod:`repro.datalog.completion` — Clark's completion ``Comp(DB)`` as a set
   of FOPCE sentences (plus unique-names handled by the FOPCE semantics
   itself).
 """
 
 from repro.datalog.program import DatalogFact, DatalogLiteral, DatalogProgram, DatalogRule
-from repro.datalog.engine import DatalogEngine, EvaluationStatistics
+from repro.datalog.engine import STRATEGIES, DatalogEngine, EvaluationStatistics
+from repro.datalog.index import FactIndex
 from repro.datalog.completion import clark_completion
 
 __all__ = [
@@ -27,5 +30,7 @@ __all__ = [
     "DatalogProgram",
     "DatalogRule",
     "EvaluationStatistics",
+    "FactIndex",
+    "STRATEGIES",
     "clark_completion",
 ]

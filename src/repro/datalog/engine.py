@@ -1,77 +1,125 @@
 """Bottom-up evaluation of Datalog programs.
 
 The engine computes the stratified minimal model of a program by iterating
-its rules to a fixpoint, one stratum at a time.  Two fixpoint strategies are
-provided:
+its rules to a fixpoint, one stratum at a time.  Three fixpoint strategies
+are provided, forming the ablation ladder the E9 benchmark measures:
 
 * **naive** — every rule is re-joined against the entire database on every
-  iteration;
+  iteration, with nested-loop scans; the O(|DB|^k)-per-rule baseline;
 * **semi-naive** — rules are joined against the *delta* (facts new in the
-  previous round), the textbook optimisation whose effect the E9 ablation
-  benchmark measures.
+  previous round) using the textbook non-duplicating decomposition: for a
+  rule with positive body literals ``p1 … pk``, one join pass per delta
+  position *i* evaluates ``p1 … p(i-1)`` against the pre-round database,
+  ``pi`` against the delta and the rest against the full database, so each
+  new derivation is produced by exactly one pass.  Passes whose delta
+  position holds a predicate absent from the delta are skipped entirely;
+* **indexed** (the default) — semi-naive evaluation driven by a
+  :class:`~repro.datalog.index.FactIndex`: facts are hashed per
+  ``(predicate, arity)`` relation and per argument position, body literals
+  are reordered greedily by estimated selectivity (delta literal first, then
+  whichever remaining literal has the most bound argument positions and the
+  smallest surviving-fact estimate), and each join step probes the index
+  with the currently bound prefix instead of scanning the fact set.
 
-Negation is interpreted as stratified negation-as-failure: a program whose
-predicate dependency graph has a negative cycle is rejected with
-:class:`~repro.exceptions.StratificationError`.  For definite programs the
-result is the least Herbrand model; for stratified programs it is the
-standard perfect model, which coincides with the completion/closed-world
-readings the paper discusses for "Prolog-like" databases.
+In every strategy, negated body literals are deferred until the join prefix
+has bound all of their variables, so range-restricted rules evaluate
+correctly regardless of the textual order of their body (rules that cannot
+be made ground this way are rejected with
+:class:`~repro.exceptions.UnsafeRuleError` — normally already at
+:class:`~repro.datalog.program.DatalogRule` construction).
+
+Negation is interpreted as stratified negation-as-failure.  Stratification
+is exact: the predicate dependency graph is condensed into strongly
+connected components and a program is rejected with
+:class:`~repro.exceptions.StratificationError` precisely when some negative
+edge lies inside a component (negation through recursion); stratum numbers
+are then assigned in one dependencies-first pass over the condensation.
+For definite programs the result is the least Herbrand model; for stratified
+programs it is the standard perfect model, which coincides with the
+completion/closed-world readings the paper discusses for "Prolog-like"
+databases.
+
+``least_model()`` is computed once and cached (keyed on the program's
+fact/rule counts), so ``query()`` and ``holds()`` do not recompute the
+fixpoint on every call.
 """
 
-import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.exceptions import StratificationError
+from repro.datalog.index import FactIndex
+from repro.exceptions import StratificationError, UnsafeRuleError
 from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter, Variable
 from repro.semantics.worlds import World
 
+STRATEGIES = ("naive", "semi-naive", "indexed")
+
 
 @dataclass
 class EvaluationStatistics:
-    """Counters describing one fixpoint computation."""
+    """Counters describing one fixpoint computation.
+
+    ``rule_applications`` counts actual join passes executed: one per rule
+    per round for naive (and first-round semi-naive) evaluation, and one per
+    *delta position actually evaluated* for semi-naive rounds.  Delta passes
+    skipped because the delta holds no fact of the pass's predicate are
+    tallied separately in ``delta_passes_skipped``.
+    """
 
     iterations: int = 0
     rule_applications: int = 0
     facts_derived: int = 0
     strata: int = 0
+    delta_passes_skipped: int = 0
 
 
 class DatalogEngine:
     """Evaluates a :class:`~repro.datalog.program.DatalogProgram`."""
 
-    def __init__(self, program, strategy="semi-naive"):
-        if strategy not in ("naive", "semi-naive"):
-            raise ValueError("strategy must be 'naive' or 'semi-naive'")
+    def __init__(self, program, strategy="indexed"):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
         self.program = program
         self.strategy = strategy
         self.statistics = EvaluationStatistics()
         self._strata = self._stratify()
+        self._strata_key = self._program_key()
+        self._model = None
+        self._model_key = None
 
     # -- public API ---------------------------------------------------------
     def least_model(self):
         """Compute the (stratified) minimal model and return it as a
-        :class:`~repro.semantics.worlds.World`."""
-        database = {fact.atom for fact in self.program.facts}
-        for stratum_index, stratum in enumerate(self._strata):
-            self.statistics.strata = stratum_index + 1
-            rules = [r for r in self.program.rules if (r.head.predicate, r.head.arity) in stratum]
-            if not rules:
-                continue
-            if self.strategy == "naive":
-                database = self._naive_fixpoint(rules, database)
-            else:
-                database = self._semi_naive_fixpoint(rules, database)
-        return World(database)
+        :class:`~repro.semantics.worlds.World`.
+
+        The model is cached: repeated calls (and therefore ``query()`` /
+        ``holds()``) re-run the fixpoint only when the program has gained
+        facts or rules since the last computation.
+        """
+        key = self._program_key()
+        if self._model is not None and self._model_key == key:
+            return self._model
+        if self._strata_key != key:
+            self._strata = self._stratify()
+            self._strata_key = key
+        self.statistics = EvaluationStatistics()
+        if self.strategy == "indexed":
+            model = self._evaluate_indexed()
+        else:
+            model = self._evaluate_scanning()
+        self._model = model
+        self._model_key = key
+        return model
 
     def query(self, atom):
         """Return the substitutions (as dicts) matching *atom* against the
         least model."""
         model = self.least_model()
         results = []
-        for fact in model.atoms:
-            if fact.predicate != atom.predicate or len(fact.args) != len(atom.args):
+        arity = len(atom.args)
+        for fact in model.atoms_for(atom.predicate):
+            if len(fact.args) != arity:
                 continue
             binding = _match(atom.args, fact.args, {})
             if binding is not None:
@@ -82,14 +130,50 @@ class DatalogEngine:
         """Return True when the ground *atom* is in the least model."""
         return self.least_model().holds(atom)
 
+    def _program_key(self):
+        # Content-based key: catches in-place replacement of facts/rules,
+        # not just growth.  O(n) per call, but far cheaper than a fixpoint.
+        return (tuple(self.program.facts), tuple(self.program.rules))
+
+    def _stratum_rules(self, stratum):
+        return [
+            r for r in self.program.rules if (r.head.predicate, r.head.arity) in stratum
+        ]
+
+    def _evaluate_scanning(self):
+        database = {fact.atom for fact in self.program.facts}
+        for stratum_index, stratum in enumerate(self._strata):
+            self.statistics.strata = stratum_index + 1
+            rules = self._stratum_rules(stratum)
+            if not rules:
+                continue
+            if self.strategy == "naive":
+                database = self._naive_fixpoint(rules, database)
+            else:
+                database = self._semi_naive_fixpoint(rules, database)
+        return World(database)
+
+    def _evaluate_indexed(self):
+        index = FactIndex(fact.atom for fact in self.program.facts)
+        for stratum_index, stratum in enumerate(self._strata):
+            self.statistics.strata = stratum_index + 1
+            rules = self._stratum_rules(stratum)
+            if rules:
+                self._indexed_fixpoint(rules, index)
+        return World(index)
+
     # -- stratification -----------------------------------------------------
     def _stratify(self):
         """Split the intensional predicates into strata; extensional
-        predicates live in stratum 0 implicitly."""
+        predicates live in stratum 0 implicitly.
+
+        The check is exact: the program is unstratifiable precisely when a
+        negative dependency edge lies inside a strongly connected component
+        of the predicate dependency graph.
+        """
         idb = self.program.idb_predicates()
         if not idb:
             return [set()]
-        # Edges: head depends on body predicate, marked negative or positive.
         positive_edges = defaultdict(set)
         negative_edges = defaultdict(set)
         for rule in self.program.rules:
@@ -102,41 +186,111 @@ class DatalogEngine:
                     positive_edges[head_key].add(body_key)
                 else:
                     negative_edges[head_key].add(body_key)
-        # Iteratively compute stratum numbers (Ullman's algorithm).
-        stratum = {p: 0 for p in idb}
-        changed = True
-        limit = len(idb) + 1
-        rounds = 0
-        while changed:
-            changed = False
-            rounds += 1
-            if rounds > limit * len(idb) + 1:
-                raise StratificationError("program is not stratifiable (negative cycle)")
-            for head in idb:
-                for dep in positive_edges[head]:
-                    if stratum[head] < stratum[dep]:
-                        stratum[head] = stratum[dep]
-                        changed = True
-                for dep in negative_edges[head]:
-                    if stratum[head] < stratum[dep] + 1:
-                        stratum[head] = stratum[dep] + 1
-                        changed = True
-                if stratum[head] > len(idb):
-                    raise StratificationError("program is not stratifiable (negative cycle)")
+        successors = {p: positive_edges[p] | negative_edges[p] for p in idb}
+        components, component_of = _strongly_connected_components(idb, successors)
+        for head, dependencies in negative_edges.items():
+            for dependency in dependencies:
+                if component_of[head] == component_of[dependency]:
+                    raise StratificationError(
+                        "program is not stratifiable: "
+                        f"{head[0]}/{head[1]} depends negatively on "
+                        f"{dependency[0]}/{dependency[1]} inside a recursive component"
+                    )
+        # Components are emitted dependencies-first, so one pass suffices.
+        component_stratum = [0] * len(components)
+        for position, component in enumerate(components):
+            level = 0
+            for head in component:
+                for dependency in positive_edges[head]:
+                    if component_of[dependency] != position:
+                        level = max(level, component_stratum[component_of[dependency]])
+                for dependency in negative_edges[head]:
+                    level = max(level, component_stratum[component_of[dependency]] + 1)
+            component_stratum[position] = level
         ordered = defaultdict(set)
-        for predicate, index in stratum.items():
-            ordered[index].add(predicate)
+        for position, component in enumerate(components):
+            ordered[component_stratum[position]].update(component)
         return [ordered[i] for i in sorted(ordered)]
 
-    # -- fixpoints ------------------------------------------------------------
+    # -- join planning -------------------------------------------------------
+    def _schedule(self, rule, delta_position=None, index=None):
+        """Order the body of *rule* for evaluation.
+
+        Returns a list of ``(literal, source)`` pairs where ``source`` is
+        ``"full"`` (the whole database), ``"delta"`` (the semi-naive delta)
+        or ``"old"`` (the database minus the delta — literals textually
+        before the delta position, per the non-duplicating decomposition).
+        Negative literals are deferred until every variable they mention is
+        bound by the positive prefix.  When *index* is given, positive
+        literals are greedily reordered by estimated selectivity; otherwise
+        their program order is preserved.
+        """
+        pending_negative = [l for l in rule.body if not l.positive]
+        positives = [(i, l) for i, l in enumerate(rule.body) if l.positive]
+        bound = set()
+        schedule = []
+
+        def emit_ready_negatives():
+            for literal in list(pending_negative):
+                if literal.variables() <= bound:
+                    schedule.append((literal, "full"))
+                    pending_negative.remove(literal)
+
+        def source_for(position):
+            if delta_position is None:
+                return "full"
+            if position == delta_position:
+                return "delta"
+            return "old" if position < delta_position else "full"
+
+        if delta_position is not None:
+            literal = rule.body[delta_position]
+            schedule.append((literal, "delta"))
+            bound |= literal.variables()
+            positives = [(i, l) for i, l in positives if i != delta_position]
+        emit_ready_negatives()
+
+        while positives:
+            if index is None:
+                choice = 0
+            else:
+                choice = 0
+                best_score = None
+                for slot, (_, literal) in enumerate(positives):
+                    atom = literal.atom
+                    bound_positions = [
+                        p
+                        for p, arg in enumerate(atom.args)
+                        if isinstance(arg, Parameter) or arg in bound
+                    ]
+                    estimate = index.selectivity(
+                        atom.predicate, len(atom.args), bound_positions
+                    )
+                    score = (0 if bound_positions else 1, estimate)
+                    if best_score is None or score < best_score:
+                        best_score, choice = score, slot
+            position, literal = positives.pop(choice)
+            schedule.append((literal, source_for(position)))
+            bound |= literal.variables()
+            emit_ready_negatives()
+
+        if pending_negative:
+            raise UnsafeRuleError(
+                f"rule {rule} is not range-restricted: negated literal(s) "
+                f"{', '.join(str(l) for l in pending_negative)} can never become ground"
+            )
+        return schedule
+
+    # -- fixpoints -----------------------------------------------------------
     def _naive_fixpoint(self, rules, database):
         database = set(database)
+        schedules = {rule: self._schedule(rule) for rule in rules}
         while True:
             self.statistics.iterations += 1
             new_facts = set()
             for rule in rules:
                 self.statistics.rule_applications += 1
-                for derived in self._apply_rule(rule, database, database):
+                for derived in self._scan_join(rule, schedules[rule], database, None, {}, 0):
                     if derived not in database:
                         new_facts.add(derived)
             if not new_facts:
@@ -146,20 +300,41 @@ class DatalogEngine:
 
     def _semi_naive_fixpoint(self, rules, database):
         database = set(database)
-        delta = set(database)
+        full_schedules = {rule: self._schedule(rule) for rule in rules}
+        delta_schedules = {}
+        delta = None
         first_round = True
         while True:
             self.statistics.iterations += 1
             new_facts = set()
+            if not first_round:
+                delta_relations = {(a.predicate, len(a.args)) for a in delta}
             for rule in rules:
-                self.statistics.rule_applications += 1
                 if first_round:
-                    candidates = self._apply_rule(rule, database, database)
-                else:
-                    candidates = self._apply_rule_with_delta(rule, database, delta)
-                for derived in candidates:
-                    if derived not in database:
-                        new_facts.add(derived)
+                    self.statistics.rule_applications += 1
+                    produced = self._scan_join(
+                        rule, full_schedules[rule], database, None, {}, 0
+                    )
+                    for derived in produced:
+                        if derived not in database:
+                            new_facts.add(derived)
+                    continue
+                produced_this_rule = set()
+                for delta_position, literal in enumerate(rule.body):
+                    if not literal.positive:
+                        continue
+                    if (literal.atom.predicate, len(literal.atom.args)) not in delta_relations:
+                        self.statistics.delta_passes_skipped += 1
+                        continue
+                    self.statistics.rule_applications += 1
+                    schedule = delta_schedules.get((rule, delta_position))
+                    if schedule is None:
+                        schedule = self._schedule(rule, delta_position=delta_position)
+                        delta_schedules[(rule, delta_position)] = schedule
+                    for derived in self._scan_join(rule, schedule, database, delta, {}, 0):
+                        if derived not in database:
+                            produced_this_rule.add(derived)
+                new_facts |= produced_this_rule
             if not new_facts:
                 return database
             self.statistics.facts_derived += len(new_facts)
@@ -167,53 +342,181 @@ class DatalogEngine:
             delta = new_facts
             first_round = False
 
-    # -- rule application ------------------------------------------------------
-    def _apply_rule(self, rule, database, positive_source):
-        """Yield the ground heads derivable from *rule* joining positive
-        literals against *positive_source* and evaluating negative literals
-        against *database*."""
-        yield from self._join(rule, rule.body, {}, database, positive_source, delta_index=None)
+    def _indexed_fixpoint(self, rules, index):
+        delta = None
+        first_round = True
+        while True:
+            self.statistics.iterations += 1
+            new_facts = set()
+            for rule in rules:
+                if first_round:
+                    self.statistics.rule_applications += 1
+                    schedule = self._schedule(rule, index=index)
+                    for derived in self._indexed_join(rule, schedule, index, None, {}, 0):
+                        if derived not in index:
+                            new_facts.add(derived)
+                    continue
+                produced_this_rule = set()
+                for delta_position, literal in enumerate(rule.body):
+                    if not literal.positive:
+                        continue
+                    if not delta.count(literal.atom.predicate, len(literal.atom.args)):
+                        self.statistics.delta_passes_skipped += 1
+                        continue
+                    self.statistics.rule_applications += 1
+                    schedule = self._schedule(
+                        rule, delta_position=delta_position, index=index
+                    )
+                    for derived in self._indexed_join(rule, schedule, index, delta, {}, 0):
+                        if derived not in index:
+                            produced_this_rule.add(derived)
+                new_facts |= produced_this_rule
+            if not new_facts:
+                return
+            self.statistics.facts_derived += len(new_facts)
+            delta = FactIndex(new_facts)
+            index.absorb(delta)
+            first_round = False
 
-    def _apply_rule_with_delta(self, rule, database, delta):
-        """Semi-naive: at least one positive literal must match a delta
-        fact."""
-        positive_positions = [i for i, l in enumerate(rule.body) if l.positive]
-        for delta_position in positive_positions:
-            yield from self._join(
-                rule, rule.body, {}, database, database, delta_index=delta_position, delta=delta
-            )
-
-    def _join(self, rule, body, binding, database, positive_source, delta_index, delta=None, position=0):
-        if position == len(body):
-            head_args = tuple(binding[a] if isinstance(a, Variable) else a for a in rule.head.args)
-            yield Atom(rule.head.predicate, head_args)
+    # -- join execution --------------------------------------------------------
+    def _scan_join(self, rule, schedule, database, delta, binding, position):
+        """Evaluate a scheduled body by scanning Python sets (the unindexed
+        baseline): yield the ground heads derivable under *binding*."""
+        if position == len(schedule):
+            yield _head_atom(rule, binding)
             return
-        literal = body[position]
+        literal, source = schedule[position]
         if literal.positive:
-            source = delta if (delta_index is not None and position == delta_index) else (
-                positive_source if delta_index is None else database
-            )
-            for fact in source:
-                if fact.predicate != literal.atom.predicate or len(fact.args) != len(literal.atom.args):
+            facts = delta if source == "delta" else database
+            predicate = literal.atom.predicate
+            arity = len(literal.atom.args)
+            for fact in facts:
+                if fact.predicate != predicate or len(fact.args) != arity:
+                    continue
+                if source == "old" and fact in delta:
                     continue
                 extended = _match(literal.atom.args, fact.args, binding)
                 if extended is not None:
-                    yield from self._join(
-                        rule, body, extended, database, positive_source, delta_index, delta, position + 1
+                    yield from self._scan_join(
+                        rule, schedule, database, delta, extended, position + 1
                     )
         else:
-            ground_args = tuple(
-                binding[a] if isinstance(a, Variable) else a for a in literal.atom.args
-            )
-            if any(isinstance(a, Variable) for a in ground_args):
-                raise StratificationError(
+            candidate = _ground_negative(literal, binding)
+            if candidate not in database:
+                yield from self._scan_join(
+                    rule, schedule, database, delta, binding, position + 1
+                )
+
+    def _indexed_join(self, rule, schedule, index, delta, binding, position):
+        """Evaluate a scheduled body by probing :class:`FactIndex` buckets
+        with the currently bound argument prefix."""
+        if position == len(schedule):
+            yield _head_atom(rule, binding)
+            return
+        literal, source = schedule[position]
+        atom = literal.atom
+        if literal.positive:
+            bound_arguments = []
+            for argument_position, arg in enumerate(atom.args):
+                if isinstance(arg, Parameter):
+                    bound_arguments.append((argument_position, arg))
+                else:
+                    value = binding.get(arg)
+                    if value is not None:
+                        bound_arguments.append((argument_position, value))
+            source_index = delta if source == "delta" else index
+            for fact in source_index.candidates(
+                atom.predicate, len(atom.args), bound_arguments
+            ):
+                if source == "old" and fact in delta:
+                    continue
+                extended = _match(atom.args, fact.args, binding)
+                if extended is not None:
+                    yield from self._indexed_join(
+                        rule, schedule, index, delta, extended, position + 1
+                    )
+        else:
+            candidate = _ground_negative(literal, binding)
+            if candidate not in index:
+                yield from self._indexed_join(
+                    rule, schedule, index, delta, binding, position + 1
+                )
+
+
+def _head_atom(rule, binding):
+    return Atom(
+        rule.head.predicate,
+        tuple(binding[a] if isinstance(a, Variable) else a for a in rule.head.args),
+    )
+
+
+def _ground_negative(literal, binding):
+    """Instantiate a negated literal under *binding*; scheduling guarantees
+    groundness for range-restricted rules."""
+    args = []
+    for arg in literal.atom.args:
+        if isinstance(arg, Variable):
+            value = binding.get(arg)
+            if value is None:
+                raise UnsafeRuleError(
                     f"negated literal {literal} not ground at evaluation time"
                 )
-            candidate = Atom(literal.atom.predicate, ground_args)
-            if candidate not in database:
-                yield from self._join(
-                    rule, body, binding, database, positive_source, delta_index, delta, position + 1
-                )
+            args.append(value)
+        else:
+            args.append(arg)
+    return Atom(literal.atom.predicate, tuple(args))
+
+
+def _strongly_connected_components(nodes, successors):
+    """Iterative Tarjan SCC.  Returns ``(components, component_of)`` with the
+    components emitted dependencies-first (every edge leaving a component
+    points at an earlier one)."""
+    counter = 0
+    indices = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    components = []
+    component_of = {}
+    for start in nodes:
+        if start in indices:
+            continue
+        indices[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        work = [(start, iter(successors[start]))]
+        while work:
+            node, iterator = work[-1]
+            descended = False
+            for successor in iterator:
+                if successor not in indices:
+                    indices[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(successors[successor])))
+                    descended = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[successor])
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    component_of[member] = len(components)
+                    if member == node:
+                        break
+                components.append(component)
+    return components, component_of
 
 
 def _match(pattern_args, fact_args, binding):

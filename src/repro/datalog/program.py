@@ -17,7 +17,7 @@ Section 5.1.
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, UnsafeRuleError
 from repro.logic.builders import conj, forall
 from repro.logic.syntax import And, Atom, Forall, Implies, Not, free_variables
 from repro.logic.terms import Parameter, Term, Variable
@@ -75,7 +75,7 @@ class DatalogRule:
         head_variables = {a for a in self.head.args if isinstance(a, Variable)}
         unsafe = head_variables - positive_variables
         if unsafe:
-            raise ReproError(
+            raise UnsafeRuleError(
                 f"unsafe rule: head variables {sorted(v.name for v in unsafe)} do not "
                 "occur in a positive body literal"
             )
@@ -83,7 +83,7 @@ class DatalogRule:
             if not literal.positive:
                 loose = literal.variables() - positive_variables
                 if loose:
-                    raise ReproError(
+                    raise UnsafeRuleError(
                         f"unsafe rule: negated literal {literal} uses variables "
                         f"{sorted(v.name for v in loose)} not bound by a positive literal"
                     )
@@ -126,9 +126,16 @@ class DatalogProgram:
         return fact
 
     def add_rule(self, rule):
-        """Add a rule; ground bodiless rules are stored as facts."""
+        """Add a rule; ground bodiless rules are stored as facts.
+
+        Range restriction is re-validated here (raising
+        :class:`~repro.exceptions.UnsafeRuleError`) so that an unsafe rule
+        can never reach the engine, even if the rule object was tampered
+        with after construction.
+        """
         if not isinstance(rule, DatalogRule):
             raise TypeError(f"expected a DatalogRule, got {rule!r}")
+        rule._check_safety()
         if rule.is_fact():
             return self.add_fact(DatalogFact(rule.head))
         self.rules.append(rule)

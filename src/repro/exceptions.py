@@ -61,6 +61,12 @@ class StratificationError(ReproError):
     """Raised when a Datalog program with negation cannot be stratified."""
 
 
+class UnsafeRuleError(ReproError):
+    """Raised when a Datalog rule violates range restriction (safety):
+    every variable of the head and of every negated body literal must occur
+    in some positive body literal."""
+
+
 class EvaluationDepthError(ReproError):
     """Raised when the demo evaluator exceeds its recursion/step budget,
     which indicates a (possibly) non-terminating query outside the

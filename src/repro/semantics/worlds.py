@@ -19,7 +19,7 @@ class World:
     recursion, and the model sets ``ℳ(Σ)``) are ordinary Python sets.
     """
 
-    __slots__ = ("_atoms", "_hash")
+    __slots__ = ("_atoms", "_hash", "_by_predicate")
 
     def __init__(self, atoms=()):
         checked = []
@@ -34,6 +34,7 @@ class World:
             checked.append(atom)
         self._atoms = frozenset(checked)
         self._hash = hash(self._atoms)
+        self._by_predicate = None
 
     @staticmethod
     def _check_equality(atom):
@@ -78,9 +79,25 @@ class World:
             found.update(atom.args)
         return found
 
+    def _predicate_index(self):
+        """A lazily built per-predicate bucket index (a cache; worlds stay
+        semantically immutable)."""
+        if self._by_predicate is None:
+            buckets = {}
+            for atom in self._atoms:
+                buckets.setdefault(atom.predicate, []).append(atom)
+            self._by_predicate = {
+                predicate: tuple(bucket) for predicate, bucket in buckets.items()
+            }
+        return self._by_predicate
+
+    def atoms_for(self, predicate):
+        """Return the atoms of the given predicate name true in this world."""
+        return self._predicate_index().get(predicate, ())
+
     def facts_for(self, predicate):
         """Return the tuples of the given predicate name true in this world."""
-        return {atom.args for atom in self._atoms if atom.predicate == predicate}
+        return {atom.args for atom in self.atoms_for(predicate)}
 
     def __contains__(self, atom):
         return self.holds(atom)

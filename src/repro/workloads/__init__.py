@@ -21,19 +21,27 @@ from repro.workloads.employees import (
     employee_queries,
 )
 from repro.workloads.generators import (
+    chain_datalog_program,
+    join_chain_program,
     random_elementary_database,
     random_normal_query,
     random_relational_instance,
+    same_generation_program,
+    transitive_closure_program,
 )
 
 __all__ = [
     "SECTION1_QUERIES",
+    "chain_datalog_program",
     "employee_constraints",
     "employee_database",
     "employee_queries",
+    "join_chain_program",
     "random_elementary_database",
     "random_normal_query",
     "random_relational_instance",
+    "same_generation_program",
+    "transitive_closure_program",
     "university_database",
     "university_queries",
 ]

@@ -1,8 +1,12 @@
 """Synthetic workload generators.
 
 Used by the randomized soundness experiment (E5), the completeness/scaling
-experiment (E6) and the ablation benchmarks (E9).  All generators take an
-explicit ``seed`` so that benchmark rows are reproducible run to run.
+experiment (E6), the ablation benchmarks (E9) and the Datalog benchmark
+matrix (``benchmarks/run_bench.py``): random elementary databases and
+normal queries, relational instances, and parameterised Datalog workloads
+(transitive closure, same-generation, join-heavy chains) that scale to
+thousands of facts.  All generators take an explicit ``seed`` so that
+benchmark rows are reproducible run to run.
 """
 
 import random
@@ -123,20 +127,9 @@ def random_relational_instance(rows=50, width=3, distinct_values=20, seed=0, nam
     return database
 
 
-def chain_datalog_program(length=50, fanout=1, seed=0):
-    """Generate the classic transitive-closure workload: an ``edge`` chain of
-    the given *length* (with optional extra random edges) plus the two
-    ``path`` rules.  Used by the naive vs semi-naive ablation (E9)."""
-    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+def _path_rules(program):
+    from repro.datalog.program import DatalogRule, DatalogLiteral
 
-    rng = _rng(seed)
-    program = DatalogProgram()
-    nodes = [Parameter(f"n{i}") for i in range(length + 1)]
-    for i in range(length):
-        program.add_fact(Atom("edge", (nodes[i], nodes[i + 1])))
-    for _ in range(fanout * length // 10):
-        a, b = rng.choice(nodes), rng.choice(nodes)
-        program.add_fact(Atom("edge", (a, b)))
     x, y, z = Variable("x"), Variable("y"), Variable("z")
     program.add_rule(
         DatalogRule(Atom("path", (x, y)), (DatalogLiteral(Atom("edge", (x, y))),))
@@ -147,4 +140,134 @@ def chain_datalog_program(length=50, fanout=1, seed=0):
             (DatalogLiteral(Atom("edge", (x, y))), DatalogLiteral(Atom("path", (y, z)))),
         )
     )
+    return program
+
+
+def chain_datalog_program(length=50, fanout=1, seed=0):
+    """Generate the classic transitive-closure workload: an ``edge`` chain of
+    the given *length* (with optional extra random edges) plus the two
+    ``path`` rules.  Used by the naive vs semi-naive ablation (E9)."""
+    from repro.datalog.program import DatalogProgram
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    nodes = [Parameter(f"n{i}") for i in range(length + 1)]
+    for i in range(length):
+        program.add_fact(Atom("edge", (nodes[i], nodes[i + 1])))
+    for _ in range(fanout * length // 10):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        program.add_fact(Atom("edge", (a, b)))
+    return _path_rules(program)
+
+
+def transitive_closure_program(chains=40, length=10, extra_edges=0, seed=0):
+    """Transitive closure at parameterised scale: *chains* disjoint ``edge``
+    chains of the given *length* (``chains * length`` edge facts) plus the
+    two ``path`` rules.
+
+    Unlike a single long chain — whose closure grows quadratically in the
+    fact count — the disjoint-chain shape keeps the least model at
+    ``O(chains * length^2)`` atoms, so the edge set can be scaled 10–100×
+    while the output stays bounded; this is the workload the indexed-join
+    speedup is measured on.  *extra_edges* random within-chain shortcut
+    edges can be added to densify individual chains.
+    """
+    from repro.datalog.program import DatalogProgram
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    nodes = [
+        [Parameter(f"c{chain}_n{i}") for i in range(length + 1)]
+        for chain in range(chains)
+    ]
+    for chain in nodes:
+        for i in range(length):
+            program.add_fact(Atom("edge", (chain[i], chain[i + 1])))
+    for _ in range(extra_edges):
+        chain = rng.choice(nodes)
+        a, b = sorted(rng.sample(range(len(chain)), 2))
+        program.add_fact(Atom("edge", (chain[a], chain[b])))
+    return _path_rules(program)
+
+
+def same_generation_program(depth=5, branching=2, seed=0):
+    """The classic same-generation workload over a random tree.
+
+    Generates ``person`` facts for every node of a *branching*-ary tree of
+    the given *depth* (children counts are randomised between 1 and
+    *branching* when a seed produces it) and ``parent`` facts along the tree
+    edges, plus the rules::
+
+        sg(x, x) :- person(x).
+        sg(x, z) :- parent(px, x), sg(px, py), parent(py, z).
+
+    The recursive rule joins three positive literals, which is what makes
+    this workload sensitive to join ordering and indexing.
+    """
+    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    root = Parameter("g0_0")
+    program.add_fact(Atom("person", (root,)))
+    level = [root]
+    for generation in range(1, depth + 1):
+        next_level = []
+        for parent_node in level:
+            for _ in range(rng.randint(max(1, branching - 1), branching)):
+                child = Parameter(f"g{generation}_{len(next_level)}")
+                next_level.append(child)
+                program.add_fact(Atom("person", (child,)))
+                program.add_fact(Atom("parent", (parent_node, child)))
+        level = next_level
+    x, z = Variable("x"), Variable("z")
+    px, py = Variable("px"), Variable("py")
+    program.add_rule(DatalogRule(Atom("sg", (x, x)), (DatalogLiteral(Atom("person", (x,))),)))
+    program.add_rule(
+        DatalogRule(
+            Atom("sg", (x, z)),
+            (
+                DatalogLiteral(Atom("parent", (px, x))),
+                DatalogLiteral(Atom("sg", (px, py))),
+                DatalogLiteral(Atom("parent", (py, z))),
+            ),
+        )
+    )
+    return program
+
+
+def join_chain_program(relations=3, rows=200, distinct_values=40, seed=0):
+    """A join-heavy single-rule workload: *relations* binary relations
+    ``r1 … rk`` of *rows* facts each, whose values are arranged in layers so
+    that ``r_i`` connects layer ``i-1`` to layer ``i``, plus one rule joining
+    the whole chain::
+
+        joined(x0, xk) :- r1(x0, x1), r2(x1, x2), ..., rk(x_{k-1}, xk).
+
+    With ``k`` positive body literals the nested-loop baseline is
+    O(rows^k) while the indexed join probes each literal with its bound
+    join key.
+    """
+    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    layers = [
+        [Parameter(f"l{layer}_v{i}") for i in range(distinct_values)]
+        for layer in range(relations + 1)
+    ]
+    for relation in range(1, relations + 1):
+        for _ in range(rows):
+            program.add_fact(
+                Atom(
+                    f"r{relation}",
+                    (rng.choice(layers[relation - 1]), rng.choice(layers[relation])),
+                )
+            )
+    variables = [Variable(f"x{i}") for i in range(relations + 1)]
+    body = tuple(
+        DatalogLiteral(Atom(f"r{i}", (variables[i - 1], variables[i])))
+        for i in range(1, relations + 1)
+    )
+    program.add_rule(DatalogRule(Atom("joined", (variables[0], variables[-1])), body))
     return program

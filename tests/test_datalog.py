@@ -33,7 +33,9 @@ class TestProgramConstruction:
             DatalogFact(atom("p", "?x"))
 
     def test_unsafe_head_variable_rejected(self):
-        with pytest.raises(ReproError):
+        from repro.exceptions import UnsafeRuleError
+
+        with pytest.raises(UnsafeRuleError):
             DatalogRule(Atom("p", (x,)), ())
 
     def test_unsafe_negated_variable_rejected(self):
@@ -78,6 +80,18 @@ class TestEngine:
         naive = DatalogEngine(family_program(), strategy="naive").least_model()
         semi = DatalogEngine(family_program(), strategy="semi-naive").least_model()
         assert naive == semi
+
+    def test_indexed_strategy_agrees(self):
+        naive = DatalogEngine(family_program(), strategy="naive").least_model()
+        indexed = DatalogEngine(family_program(), strategy="indexed").least_model()
+        assert naive == indexed
+
+    def test_least_model_is_cached_across_queries(self):
+        engine = DatalogEngine(family_program())
+        model = engine.least_model()
+        engine.query(Atom("ancestor", (Parameter("ann"), x)))
+        engine.holds(atom("ancestor", "bob", "dora"))
+        assert engine.least_model() is model
 
     def test_semi_naive_does_less_work(self):
         from repro.workloads.generators import chain_datalog_program

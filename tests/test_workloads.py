@@ -13,9 +13,12 @@ from repro.workloads.employees import (
 )
 from repro.workloads.generators import (
     chain_datalog_program,
+    join_chain_program,
     random_elementary_database,
     random_normal_query,
     random_relational_instance,
+    same_generation_program,
+    transitive_closure_program,
 )
 from repro.workloads.university import (
     propositional_database,
@@ -87,3 +90,40 @@ class TestGenerators:
         program = chain_datalog_program(length=5, fanout=0)
         assert len(program.facts) == 5
         assert len(program.rules) == 2
+
+    def test_transitive_closure_program_scales_by_chains(self):
+        from repro.datalog.engine import DatalogEngine
+
+        program = transitive_closure_program(chains=10, length=4)
+        assert len(program.facts) == 40
+        model = DatalogEngine(program).least_model()
+        # each chain contributes length*(length+1)/2 paths
+        assert len(model.facts_for("path")) == 10 * 10
+
+    def test_transitive_closure_program_is_deterministic_per_seed(self):
+        first = transitive_closure_program(chains=3, length=3, extra_edges=4, seed=5)
+        second = transitive_closure_program(chains=3, length=3, extra_edges=4, seed=5)
+        assert str(first) == str(second)
+
+    def test_same_generation_program(self):
+        from repro.datalog.engine import DatalogEngine
+
+        program = same_generation_program(depth=3, branching=2, seed=1)
+        assert len(program.rules) == 2
+        model = DatalogEngine(program).least_model()
+        people = model.facts_for("person")
+        # reflexive pairs are always same-generation
+        assert all((p[0], p[0]) in model.facts_for("sg") for p in people)
+
+    def test_join_chain_program(self):
+        from repro.datalog.engine import DatalogEngine
+
+        program = join_chain_program(relations=3, rows=30, distinct_values=6, seed=2)
+        assert len(program.rules) == 1
+        assert len(program.rules[0].body) == 3
+        model = DatalogEngine(program).least_model()
+        naive = DatalogEngine(
+            join_chain_program(relations=3, rows=30, distinct_values=6, seed=2),
+            strategy="naive",
+        ).least_model()
+        assert model == naive
