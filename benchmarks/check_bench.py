@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Guard ``BENCH_datalog.json`` against staleness and perf regressions.
+
+Two checks, both importable (``tests/test_bench_guard.py`` wires them into
+the tier-1 verify flow) and runnable as a CLI::
+
+    python benchmarks/check_bench.py            # structure + quick regression
+    python benchmarks/check_bench.py --no-measure   # structure only
+    python benchmarks/check_bench.py --full     # regression vs the true
+                                                # headline row (~20 s: it
+                                                # re-times semi-naive at
+                                                # 2000 facts)
+
+*Staleness* (``structure_problems``): the committed file must cover every
+engine strategy on every row, verify model agreement, carry the
+indexed-vs-semi-naive headline, and include the incremental
+view-maintenance section with its >= 10x apply-vs-recompute speedup — a
+PR that adds a mode without re-running ``run_bench.py`` fails here.
+
+*Regression* (``regression_problems``): re-times the indexed strategy
+against unindexed semi-naive on a committed transitive-closure row and fails
+when the measured speedup falls below half the committed one.  Comparing
+*ratios* keeps the check machine-independent; the 2x tolerance absorbs
+scheduler noise.  By default the row is the largest one whose semi-naive
+cell stays under ~2 s so the check is cheap enough for every test run.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
+from repro.workloads.generators import transitive_closure_program  # noqa: E402
+
+BENCH_PATH = ROOT / "BENCH_datalog.json"
+#: measured speedup may be at most this factor below the committed one
+REGRESSION_TOLERANCE = 2.0
+#: default regression row: skip rows whose committed semi-naive cell is slower
+QUICK_SECONDS_CAP = 2.0
+
+
+def load_report(path=BENCH_PATH):
+    """Load the committed benchmark report."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def structure_problems(report):
+    """Return a list of staleness problems (empty when the file is fresh)."""
+    problems = []
+    rows = report.get("rows", [])
+    if not rows:
+        problems.append("no benchmark rows")
+    for row in rows:
+        strategies = row.get("strategies", {})
+        missing = [s for s in STRATEGIES if s not in strategies]
+        if missing:
+            problems.append(
+                f"row {row.get('workload')} {row.get('params')} lacks "
+                f"strategies: {', '.join(missing)} — re-run benchmarks/run_bench.py"
+            )
+        if not row.get("models_identical", False):
+            problems.append(
+                f"row {row.get('workload')} {row.get('params')} did not verify "
+                "model agreement"
+            )
+    if "headline" not in report:
+        problems.append("missing indexed-vs-semi-naive headline")
+    incremental = report.get("incremental")
+    if incremental is None:
+        problems.append(
+            "missing incremental view-maintenance section — "
+            "re-run benchmarks/run_bench.py"
+        )
+    else:
+        if not incremental.get("models_identical", False):
+            problems.append("incremental section did not verify model agreement")
+        speedup = incremental.get("speedup_incremental_vs_recompute")
+        if speedup is None or speedup < 10.0:
+            problems.append(
+                f"incremental apply speedup {speedup} is below the 10x target"
+            )
+    return problems
+
+
+def regression_row(report, full=False):
+    """Pick the committed transitive-closure row the regression check
+    re-measures: the largest one (the headline row with ``full=True``,
+    otherwise the largest whose semi-naive cell is quick enough to re-time
+    on every test run)."""
+    candidates = []
+    for row in report.get("rows", []):
+        if row.get("workload") != "transitive_closure":
+            continue
+        semi = (row.get("strategies") or {}).get("semi-naive")
+        indexed = (row.get("strategies") or {}).get("indexed")
+        if not semi or not indexed:
+            continue
+        if not full and semi["seconds"] > QUICK_SECONDS_CAP:
+            continue
+        candidates.append(row)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: r["facts"])
+
+
+def regression_problems(report, full=False):
+    """Re-measure indexed vs semi-naive on a committed row; return problems
+    when the measured speedup regressed more than ``REGRESSION_TOLERANCE``x
+    against the committed one."""
+    row = regression_row(report, full=full)
+    if row is None:
+        return ["no committed transitive-closure row suitable for re-measurement"]
+    committed = row["strategies"]["semi-naive"]["seconds"] / max(
+        row["strategies"]["indexed"]["seconds"], 1e-9
+    )
+    timings = {}
+    # The indexed cell is tiny (tens of ms), so a scheduler hiccup can skew
+    # the ratio badly; best-of-3 keeps the check stable.  The semi-naive
+    # cell is long enough that one run suffices.
+    for strategy, repeats in (("semi-naive", 1), ("indexed", 3)):
+        best = None
+        for _ in range(repeats):
+            program = transitive_closure_program(**row["params"])
+            engine = DatalogEngine(program, strategy=strategy)
+            start = time.perf_counter()
+            engine.least_model()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        timings[strategy] = best
+    measured = timings["semi-naive"] / max(timings["indexed"], 1e-9)
+    if measured < committed / REGRESSION_TOLERANCE:
+        return [
+            f"indexed evaluation regressed: measured speedup {measured:.1f}x vs "
+            f"committed {committed:.1f}x on {row['facts']} TC facts "
+            f"(tolerance {REGRESSION_TOLERANCE}x)"
+        ]
+    return []
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=pathlib.Path, default=BENCH_PATH)
+    parser.add_argument("--full", action="store_true",
+                        help="re-measure the true headline row (slow)")
+    parser.add_argument("--no-measure", action="store_true",
+                        help="structure/staleness checks only")
+    args = parser.parse_args(argv)
+    try:
+        report = load_report(args.bench)
+    except FileNotFoundError:
+        print(f"FAIL: {args.bench} does not exist — run benchmarks/run_bench.py")
+        return 1
+    problems = structure_problems(report)
+    if not args.no_measure:
+        problems += regression_problems(report, full=args.full)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print("BENCH_datalog.json is fresh and the committed headlines hold")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

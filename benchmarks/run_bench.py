@@ -4,19 +4,25 @@
 Times every evaluation strategy (naive, semi-naive, indexed) across a grid of
 workload sizes — transitive closure, same-generation and join-heavy chains —
 verifying along the way that every strategy computes the identical least
-model.  The JSON it writes is the perf trajectory future PRs diff against.
+model, then replays a tell/retract update stream to measure incremental view
+maintenance (``MaterializedModel.apply``) against full recomputation.  The
+JSON it writes is the perf trajectory future PRs diff against
+(``benchmarks/check_bench.py`` guards it).
 
 Usage::
 
-    python benchmarks/run_bench.py                 # full matrix
+    python benchmarks/run_bench.py                 # full matrix + incremental
     python benchmarks/run_bench.py --quick         # small sizes only
-    python benchmarks/run_bench.py --check         # fail unless the indexed
-                                                   # strategy is >= 5x faster
-                                                   # than unindexed semi-naive
-                                                   # on the largest TC workload
+    python benchmarks/run_bench.py --check         # fail unless indexed is
+                                                   # >= 5x faster than
+                                                   # semi-naive on the largest
+                                                   # TC workload AND apply()
+                                                   # is >= 10x faster than
+                                                   # recomputation
     python benchmarks/run_bench.py --experiments   # also run the E7/E9 pytest
                                                    # benchmarks and record
                                                    # their outcome
+    python benchmarks/run_bench.py --no-incremental  # skip the update stream
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
 nested-loop joins are the quadratic-and-worse baseline the ablation exists to
@@ -35,10 +41,12 @@ ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
+from repro.datalog.incremental import MaterializedModel  # noqa: E402
 from repro.workloads.generators import (  # noqa: E402
     join_chain_program,
     same_generation_program,
     transitive_closure_program,
+    update_stream,
 )
 
 FULL_MATRIX = [
@@ -127,6 +135,62 @@ def run_matrix(matrix, naive_cap, repeats):
     return rows
 
 
+def run_incremental(chains=400, length=5, batches=20, churn=0.01, seed=0):
+    """Replay a tell/retract stream against a materialized transitive-closure
+    model, timing ``MaterializedModel.apply`` against a full (indexed)
+    recomputation of the same state after every batch.
+
+    The per-batch recompute runs on the already-mutated program with a fresh
+    engine — exactly what a non-incremental caller would have to do — and
+    every batch's maintained model is checked fact-for-fact against it.
+    """
+    program = transitive_closure_program(chains=chains, length=length)
+    facts = len(program.facts)
+    start = time.perf_counter()
+    materialized = MaterializedModel(program)
+    build_seconds = time.perf_counter() - start
+    batch_stream = list(update_stream(program, batches=batches, churn=churn, seed=seed))
+    apply_seconds = []
+    recompute_seconds = []
+    identical = True
+    for insertions, deletions in batch_stream:
+        start = time.perf_counter()
+        materialized.apply(insertions, deletions)
+        apply_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        recomputed = DatalogEngine(program).least_model()
+        recompute_seconds.append(time.perf_counter() - start)
+        identical = identical and materialized.model() == recomputed
+    apply_mean = sum(apply_seconds) / len(apply_seconds)
+    recompute_mean = sum(recompute_seconds) / len(recompute_seconds)
+    cell = {
+        "workload": "transitive_closure",
+        "params": dict(chains=chains, length=length),
+        "facts": facts,
+        "batches": len(batch_stream),
+        "churn": churn,
+        "build_seconds": round(build_seconds, 6),
+        "apply_mean_seconds": round(apply_mean, 6),
+        "apply_total_seconds": round(sum(apply_seconds), 6),
+        "recompute_mean_seconds": round(recompute_mean, 6),
+        "speedup_incremental_vs_recompute": round(recompute_mean / apply_mean, 2)
+        if apply_mean > 0
+        else None,
+        "models_identical": identical,
+    }
+    if not identical:
+        raise SystemExit(
+            f"incremental maintenance disagrees with recomputation on "
+            f"{cell['workload']} {cell['params']}"
+        )
+    print(
+        f"incremental {cell['params']} ({facts} facts, {len(batch_stream)} batches of "
+        f"{max(1, int(facts * churn))}): apply {apply_mean * 1000:.2f} ms vs recompute "
+        f"{recompute_mean * 1000:.1f} ms -> {cell['speedup_incremental_vs_recompute']}x"
+    )
+    return cell
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -152,19 +216,30 @@ def run_experiments():
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=pathlib.Path, default=ROOT / "BENCH_datalog.json")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="defaults to BENCH_datalog.json at the repo root "
+                             "(BENCH_datalog_quick.json for --quick runs, so a "
+                             "quick iteration never overwrites the committed "
+                             "trajectory with small-size numbers)")
     parser.add_argument("--quick", action="store_true", help="small sizes only")
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--naive-cap", type=int, default=600,
                         help="skip the naive strategy above this many facts")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless indexed is >= 5x faster than "
-                             "semi-naive on the largest transitive-closure workload")
+                             "semi-naive on the largest transitive-closure workload "
+                             "and incremental apply is >= 10x faster than recompute")
     parser.add_argument("--experiments", action="store_true",
                         help="also run the E7/E9 pytest benchmarks")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="skip the incremental view-maintenance stream")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.output is None:
+        args.output = ROOT / (
+            "BENCH_datalog_quick.json" if args.quick else "BENCH_datalog.json"
+        )
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     rows = run_matrix(matrix, args.naive_cap, args.repeats)
@@ -174,6 +249,11 @@ def main(argv=None):
         "repeats": args.repeats,
         "rows": rows,
     }
+    if not args.no_incremental:
+        if args.quick:
+            report["incremental"] = run_incremental(chains=100, length=5, batches=10)
+        else:
+            report["incremental"] = run_incremental(chains=400, length=5, batches=20)
     if args.experiments:
         report["experiments"] = run_experiments()
 
@@ -191,6 +271,12 @@ def main(argv=None):
               f"on {largest['facts']} TC facts")
         if args.check and speedup < 5.0:
             raise SystemExit(f"--check failed: speedup {speedup} < 5.0")
+    if args.check and "incremental" in report:
+        incremental_speedup = report["incremental"]["speedup_incremental_vs_recompute"]
+        if incremental_speedup is None or incremental_speedup < 10.0:
+            raise SystemExit(
+                f"--check failed: incremental speedup {incremental_speedup} < 10.0"
+            )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

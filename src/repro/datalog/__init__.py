@@ -13,6 +13,11 @@ This subpackage provides that substrate:
   bottom-up evaluation with stratified negation;
 * :mod:`repro.datalog.index` — hash indexes over ground facts (per
   relation and per argument position) backing the indexed strategy;
+* :mod:`repro.datalog.incremental` — incremental view maintenance: a
+  :class:`~repro.datalog.incremental.MaterializedModel` keeps the least
+  model consistent under EDB insertions *and* deletions at delta cost
+  (derivation counting for non-recursive predicates, DRed
+  overdelete/rederive for recursive ones);
 * :mod:`repro.datalog.completion` — Clark's completion ``Comp(DB)`` as a set
   of FOPCE sentences (plus unique-names handled by the FOPCE semantics
   itself).
@@ -21,6 +26,7 @@ This subpackage provides that substrate:
 from repro.datalog.program import DatalogFact, DatalogLiteral, DatalogProgram, DatalogRule
 from repro.datalog.engine import STRATEGIES, DatalogEngine, EvaluationStatistics
 from repro.datalog.index import FactIndex
+from repro.datalog.incremental import MaintenanceStatistics, MaterializedModel, UpdateResult
 from repro.datalog.completion import clark_completion
 
 __all__ = [
@@ -31,6 +37,9 @@ __all__ = [
     "DatalogRule",
     "EvaluationStatistics",
     "FactIndex",
+    "MaintenanceStatistics",
+    "MaterializedModel",
     "STRATEGIES",
+    "UpdateResult",
     "clark_completion",
 ]

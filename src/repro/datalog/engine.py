@@ -40,8 +40,11 @@ completion/closed-world readings the paper discusses for "Prolog-like"
 databases.
 
 ``least_model()`` is computed once and cached (keyed on the program's
-fact/rule counts), so ``query()`` and ``holds()`` do not recompute the
-fixpoint on every call.
+fact/rule content), so ``query()`` and ``holds()`` do not recompute the
+fixpoint on every call.  For update-heavy callers,
+:class:`~repro.datalog.incremental.MaterializedModel` maintains the model
+under EDB insertions and deletions at delta cost and pushes it back into
+this cache via :meth:`DatalogEngine.install_model`.
 """
 
 from collections import defaultdict
@@ -87,6 +90,10 @@ class DatalogEngine:
         self._strata_key = self._program_key()
         self._model = None
         self._model_key = None
+        # Set by MaterializedModel: a zero-argument callable that refreshes
+        # the cache (via install_model) from incrementally maintained state,
+        # so a cache miss costs O(delta) instead of a fixpoint.
+        self._model_provider = None
 
     # -- public API ---------------------------------------------------------
     def least_model(self):
@@ -100,6 +107,14 @@ class DatalogEngine:
         key = self._program_key()
         if self._model is not None and self._model_key == key:
             return self._model
+        if self._model_provider is not None:
+            # An incremental maintainer owns the model: let it bring the
+            # cache up to date (O(delta)); fall through to a full fixpoint
+            # only if it could not.
+            self._model_provider()
+            key = self._program_key()
+            if self._model is not None and self._model_key == key:
+                return self._model
         if self._strata_key != key:
             self._strata = self._stratify()
             self._strata_key = key
@@ -129,6 +144,24 @@ class DatalogEngine:
     def holds(self, atom):
         """Return True when the ground *atom* is in the least model."""
         return self.least_model().holds(atom)
+
+    def install_model(self, model):
+        """Install an externally maintained least model into the cache.
+
+        Used by :class:`~repro.datalog.incremental.MaterializedModel` after
+        an incremental update so that ``least_model()`` (and therefore
+        ``query()`` / ``holds()``) return the maintained model without
+        re-running the fixpoint.  The caller guarantees *model* is the least
+        model of the program's current content; strata are refreshed here so
+        a later genuine re-evaluation starts from a consistent state.
+        """
+        key = self._program_key()
+        if self._strata_key != key:
+            self._strata = self._stratify()
+            self._strata_key = key
+        self._model = model
+        self._model_key = key
+        return model
 
     def _program_key(self):
         # Content-based key: catches in-place replacement of facts/rules,

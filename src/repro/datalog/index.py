@@ -14,7 +14,11 @@ levels of hashing over a set of ground atoms:
 Indexes are cheap to build incrementally: the semi-naive fixpoint keeps one
 index for the full database and a small one for the per-round delta, and
 merges the delta into the database bucket-wise with :meth:`FactIndex.absorb`
-(no per-fact rehashing of the receiving side).
+(no per-fact rehashing of the receiving side).  Deletion is symmetric:
+:meth:`FactIndex.discard` removes one fact and :meth:`FactIndex.retract_all`
+subtracts a whole delta bucket-wise, which is what the incremental
+view-maintenance layer (:mod:`repro.datalog.incremental`) uses to keep a
+materialized least model consistent under retractions.
 """
 
 from itertools import chain
@@ -94,6 +98,67 @@ class FactIndex:
                     else:
                         slot |= atoms
         return self
+
+    # -- deletion ------------------------------------------------------------
+    def discard(self, atom):
+        """Remove *atom*; return True when it was present.
+
+        The deletion dual of :meth:`add`: the fact is removed from its
+        relation bucket and from every per-argument-position bucket, and
+        emptied value buckets are dropped so that :meth:`selectivity` keeps
+        seeing honest distinct-value counts.
+        """
+        key = (atom.predicate, len(atom.args))
+        bucket = self._relations.get(key)
+        if bucket is None or atom not in bucket:
+            return False
+        bucket.remove(atom)
+        positional = self._arguments[key]
+        for position, value in enumerate(atom.args):
+            slot = positional[position].get(value)
+            if slot is not None:
+                slot.discard(atom)
+                if not slot:
+                    del positional[position][value]
+        self._size -= 1
+        return True
+
+    def discard_all(self, atoms):
+        """Remove every atom; return how many were actually present."""
+        removed = 0
+        for atom in atoms:
+            if self.discard(atom):
+                removed += 1
+        return removed
+
+    def retract_all(self, other):
+        """Subtract another :class:`FactIndex` from this one bucket-wise —
+        the deletion dual of :meth:`absorb`.
+
+        Facts held by *other* but not by this index are ignored, so the
+        operation is a plain set difference per relation.  Returns how many
+        facts were removed.
+        """
+        removed = 0
+        for key, bucket in other._relations.items():
+            mine = self._relations.get(key)
+            if not mine:
+                continue
+            before = len(mine)
+            mine -= bucket
+            removed += before - len(mine)
+            own_positions = self._arguments[key]
+            for position, positional in enumerate(other._arguments[key]):
+                target = own_positions[position]
+                for value, atoms in positional.items():
+                    slot = target.get(value)
+                    if slot is None:
+                        continue
+                    slot -= atoms
+                    if not slot:
+                        del target[value]
+        self._size -= removed
+        return removed
 
     # -- lookup --------------------------------------------------------------
     def __contains__(self, atom):

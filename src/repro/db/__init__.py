@@ -3,10 +3,12 @@
 Ties the whole system together behind the interface a downstream user works
 with: tell first-order sentences, ask KFOPCE queries (yes/no/unknown or
 bindings), register epistemic integrity constraints, update with incremental
-re-checking and triggers, and switch to the closed-world view.
+re-checking and triggers, switch to the closed-world view, and keep a
+materialized Datalog reading hot across updates (:class:`DatalogView`).
 """
 
 from repro.db.database import EpistemicDatabase
 from repro.db.transactions import Transaction
+from repro.db.view import DatalogView
 
-__all__ = ["EpistemicDatabase", "Transaction"]
+__all__ = ["DatalogView", "EpistemicDatabase", "Transaction"]

@@ -68,6 +68,7 @@ class EpistemicDatabase:
         self._triggers = TriggerManager(config=config)
         self._dirty = True
         self._reducer = None
+        self._update_listeners = []
         for sentence in sentences:
             self.tell(sentence, check_constraints=False, fire_triggers=False)
         for constraint in constraints:
@@ -109,6 +110,35 @@ class EpistemicDatabase:
         """The :class:`~repro.constraints.triggers.TriggerManager`."""
         return self._triggers
 
+    # -- update notifications ---------------------------------------------------
+    def add_update_listener(self, listener):
+        """Register ``listener(added, removed)`` to be called after every
+        *applied* content change — ``tell``, ``retract`` and
+        :meth:`~repro.db.transactions.Transaction.commit` (once per batch,
+        with the net change).  Rejected updates and rollbacks never notify,
+        which is what keeps derived caches (e.g. a
+        :class:`~repro.db.view.DatalogView`) consistent with committed state
+        only.  Returns the listener for decorator-style use."""
+        self._update_listeners.append(listener)
+        return listener
+
+    def remove_update_listener(self, listener):
+        """Unregister a listener previously added with
+        :meth:`add_update_listener` (no-op when absent)."""
+        if listener in self._update_listeners:
+            self._update_listeners.remove(listener)
+
+    def _notify_update(self, added, removed):
+        """Tell every registered listener about an applied content change.
+        Called after constraint checking succeeds and before triggers fire,
+        so listeners see the new state before any trigger queries it."""
+        if not self._update_listeners:
+            return
+        added = tuple(added)
+        removed = tuple(removed)
+        for listener in list(self._update_listeners):
+            listener(added, removed)
+
     def tell(self, sentence, check_constraints=True, fire_triggers=True):
         """Assert a first-order sentence.
 
@@ -140,6 +170,7 @@ class EpistemicDatabase:
                     f"asserting {to_text(formula)} violates integrity constraints",
                     violations=report.violations,
                 )
+        self._notify_update([formula], [])
         if fire_triggers and self._triggers.triggers:
             self._triggers.fire(self)
         return report
@@ -151,6 +182,7 @@ class EpistemicDatabase:
             return None
         self._sentences.remove(formula)
         self._dirty = True
+        report = None
         if check_constraints and self._constraints:
             report = self.check_constraints()
             if not report.satisfied:
@@ -160,8 +192,8 @@ class EpistemicDatabase:
                     f"retracting {to_text(formula)} violates integrity constraints",
                     violations=report.violations,
                 )
-            return report
-        return None
+        self._notify_update([], [formula])
+        return report
 
     def add_constraint(self, constraint, check_now=True):
         """Register a KFOPCE integrity constraint (Definition 3.5)."""
@@ -270,6 +302,17 @@ class EpistemicDatabase:
         from repro.db.transactions import Transaction
 
         return Transaction(self)
+
+    # -- datalog view -------------------------------------------------------------------
+    def datalog_view(self, rules=(), strategy="indexed"):
+        """Return a :class:`~repro.db.view.DatalogView`: the Prolog-like
+        reading of this database (its ground atomic sentences plus the given
+        Datalog *rules*) with the least model materialized and incrementally
+        maintained across every subsequent ``tell`` / ``retract`` /
+        transaction commit."""
+        from repro.db.view import DatalogView
+
+        return DatalogView(self, rules=rules, strategy=strategy)
 
     # -- closed world -------------------------------------------------------------------
     def closed_world(self, queries=()):

@@ -75,19 +75,31 @@ class Transaction:
                     f"transaction [{staged}] violates integrity constraints",
                     violations=report.violations,
                 )
+        applied_retractions = []
         for sentence in self._retractions:
             if sentence in database._sentences:
                 database._sentences.remove(sentence)
+                applied_retractions.append(sentence)
         for sentence in self._additions:
             database._sentences.append(sentence)
         database._dirty = True
         self._committed = True
+        database._notify_update(self._additions, applied_retractions)
         if database.triggers.triggers:
             database.triggers.fire(database)
         return report
 
     def rollback(self):
-        """Discard the staged changes."""
+        """Discard the staged changes.
+
+        Rolling back never notifies update listeners, so any derived state —
+        in particular a :class:`~repro.db.view.DatalogView`'s materialized
+        model and the engine cache behind it — is left exactly as it was
+        before the transaction started.  Code that wants to *look* at the
+        pending state without committing should use
+        :meth:`~repro.db.view.DatalogView.preview` (a side-effect-free peek)
+        rather than applying and rolling back.
+        """
         self._additions.clear()
         self._retractions.clear()
         self._committed = True

@@ -1,0 +1,151 @@
+"""Materialized Datalog views over an :class:`~repro.db.database.EpistemicDatabase`.
+
+The paper's Section 5.1 observes that Σ "could be a Datalog program"; a
+:class:`DatalogView` takes that reading literally and keeps it *hot*: the
+database's ground atomic sentences are the EDB, the caller supplies the
+rules, and a :class:`~repro.datalog.incremental.MaterializedModel` maintains
+the least model.  The view subscribes to the database's update
+notifications, so every ``tell`` / ``retract`` / transaction commit updates
+the materialized closure at delta cost — the engine never re-runs its
+fixpoint for fact traffic.
+
+Two properties matter for correctness under transactional traffic:
+
+* only *applied* changes notify — a rejected batch or an explicit
+  ``rollback`` leaves the view (and the engine cache behind it) untouched;
+* looking at pending state goes through :meth:`DatalogView.preview`, which
+  peeks side-effect-free instead of applying-then-undoing against the live
+  view, so a peek can never poison the maintained model.
+
+Non-atomic sentences (disjunctions, existentials, arbitrary FOPCE) are not
+part of the Prolog-like reading and are ignored by the view; ask the
+database itself about those.
+"""
+
+from repro.datalog.incremental import MaterializedModel
+from repro.datalog.program import DatalogProgram
+from repro.logic.syntax import Atom
+from repro.logic.terms import Parameter
+
+
+def _ground_atoms(sentences):
+    """The sentences that take part in the Datalog reading: ground,
+    non-equality atoms."""
+    return [
+        sentence
+        for sentence in sentences
+        if isinstance(sentence, Atom)
+        and all(isinstance(arg, Parameter) for arg in sentence.args)
+    ]
+
+
+def _occurrence_counts(sentences):
+    """How often each ground atomic sentence occurs (the database stores a
+    sentence *list*; its semantics is a theory — a set)."""
+    counts = {}
+    for sentence in _ground_atoms(sentences):
+        counts[sentence] = counts.get(sentence, 0) + 1
+    return counts
+
+
+class DatalogView:
+    """A continuously maintained Datalog reading of a database.
+
+    Example::
+
+        db = EpistemicDatabase.from_text("edge(a, b); edge(b, c)")
+        view = db.datalog_view(rules=path_rules)
+        view.holds(parse("path(a, c)"))        # True
+        with db.transaction() as txn:
+            txn.retract("edge(b, c)")
+        view.holds(parse("path(a, c)"))        # False — maintained, not recomputed
+
+    The view stays subscribed to the database until :meth:`close` is called.
+    """
+
+    def __init__(self, database, rules=(), strategy="indexed"):
+        self._database = database
+        program = DatalogProgram()
+        for rule in rules:
+            program.add_rule(rule)
+        for sentence in _ground_atoms(database.sentences()):
+            program.add_fact(sentence)
+        self._materialized = MaterializedModel(program, strategy=strategy)
+        database.add_update_listener(self._on_update)
+
+    # -- reading ------------------------------------------------------------
+    @property
+    def materialized(self):
+        """The underlying :class:`~repro.datalog.incremental.MaterializedModel`."""
+        return self._materialized
+
+    @property
+    def engine(self):
+        """The wrapped :class:`~repro.datalog.engine.DatalogEngine`."""
+        return self._materialized.engine
+
+    def model(self):
+        """The maintained least model as a
+        :class:`~repro.semantics.worlds.World`."""
+        return self._materialized.model()
+
+    def holds(self, atom):
+        """Return True when the ground atom is in the maintained model."""
+        return self._materialized.holds(self._as_atom(atom))
+
+    def query(self, atom):
+        """Return the substitutions matching *atom* (which may contain
+        variables) against the maintained model."""
+        return self._materialized.query(self._as_atom(atom))
+
+    def preview(self, transaction):
+        """The :class:`~repro.semantics.worlds.World` the view would show if
+        *transaction* committed — computed as a side-effect-free peek, so the
+        maintained state survives a subsequent rollback untouched."""
+        additions, retractions = transaction.pending
+        # Mirror commit + _on_update exactly: each staged retraction removes
+        # one occurrence from the sentence list, and the EDB fact only
+        # disappears once no occurrence is left.
+        staged = _occurrence_counts(retractions)
+        deletions = []
+        if staged:
+            occurrences = _occurrence_counts(self._database.sentences())
+            deletions = [
+                atom
+                for atom, count in staged.items()
+                if occurrences.get(atom, 0) <= count
+            ]
+        return self._materialized.peek(
+            insertions=_ground_atoms(additions),
+            deletions=deletions,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self):
+        """Unsubscribe from the database; the view stops updating."""
+        self._database.remove_update_listener(self._on_update)
+
+    def _on_update(self, added, removed):
+        # A retraction only deletes the EDB fact once no occurrence of the
+        # sentence is left — checked with a single pass over the database
+        # rather than one membership scan per removed atom.
+        removed_atoms = _ground_atoms(removed)
+        deletions = []
+        if removed_atoms:
+            occurrences = _occurrence_counts(self._database.sentences())
+            deletions = [
+                atom for atom in set(removed_atoms) if occurrences.get(atom, 0) == 0
+            ]
+        insertions = _ground_atoms(added)
+        if insertions or deletions:
+            self._materialized.apply(insertions, deletions)
+
+    def _as_atom(self, value):
+        if isinstance(value, str):
+            from repro.db.database import _as_formula
+
+            value = _as_formula(value)
+        return value
+
+    def __repr__(self):
+        return f"DatalogView({self._materialized!r})"

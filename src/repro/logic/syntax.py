@@ -99,10 +99,17 @@ class Atom(Formula):
             raise ValueError("use Equals for the equality predicate")
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", tuple(_check_term(a) for a in args))
+        object.__setattr__(self, "_hash", hash((predicate, self.args)))
 
     @property
     def arity(self):
         return len(self.args)
+
+    def __hash__(self):
+        # Atoms are hashed constantly (worlds, fact indexes, deltas, join
+        # bindings); the hash is precomputed once at construction so this is
+        # a plain attribute read instead of re-hashing the argument tuple.
+        return self._hash
 
     def __repr__(self):
         rendered = ", ".join(repr(a) for a in self.args)

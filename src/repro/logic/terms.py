@@ -29,6 +29,11 @@ class Variable:
     def __post_init__(self):
         if not self.name or not isinstance(self.name, str):
             raise ValueError("variable name must be a non-empty string")
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    def __hash__(self):
+        # Precomputed: variables key join bindings on every unification step.
+        return self._hash
 
     def __repr__(self):
         return f"Variable({self.name!r})"
@@ -51,6 +56,12 @@ class Parameter:
     def __post_init__(self):
         if not self.name or not isinstance(self.name, str):
             raise ValueError("parameter name must be a non-empty string")
+        object.__setattr__(self, "_hash", hash((Parameter, self.name)))
+
+    def __hash__(self):
+        # Precomputed: parameters are the values probed against the fact
+        # index's per-argument buckets on every join step.
+        return self._hash
 
     def __repr__(self):
         return f"Parameter({self.name!r})"

@@ -3,10 +3,12 @@
 Used by the randomized soundness experiment (E5), the completeness/scaling
 experiment (E6), the ablation benchmarks (E9) and the Datalog benchmark
 matrix (``benchmarks/run_bench.py``): random elementary databases and
-normal queries, relational instances, and parameterised Datalog workloads
+normal queries, relational instances, parameterised Datalog workloads
 (transitive closure, same-generation, join-heavy chains) that scale to
-thousands of facts.  All generators take an explicit ``seed`` so that
-benchmark rows are reproducible run to run.
+thousands of facts, and tell/retract update streams over a program's EDB
+(``update_stream``) for the incremental view-maintenance benchmark.  All
+generators take an explicit ``seed`` so that benchmark rows are
+reproducible run to run.
 """
 
 import random
@@ -234,6 +236,92 @@ def same_generation_program(depth=5, branching=2, seed=0):
         )
     )
     return program
+
+
+def update_stream(
+    program,
+    batches=20,
+    churn=0.01,
+    batch_size=None,
+    reinsert_ratio=0.7,
+    predicates=None,
+    seed=0,
+):
+    """Yield ``(insertions, deletions)`` batches simulating a tell/retract
+    stream against a Datalog program's EDB — the update workload the
+    incremental view-maintenance benchmark replays.
+
+    Each batch deletes ``batch_size`` (default: ``churn`` × the current EDB
+    size, at least 1) random live facts and inserts as many new ones; an
+    insertion re-tells a previously deleted fact with probability
+    *reinsert_ratio* (the natural shape of transactional traffic: most
+    deletions are temporary) and otherwise synthesises a fresh fact by
+    recombining argument values already seen at each position of the chosen
+    predicate.  The stream tracks its own view of the EDB, so a batch never
+    deletes an absent fact or inserts a present one, and no fact is both
+    inserted and deleted in the same batch.
+
+    *predicates* restricts the churn to the given predicate names (default:
+    every extensional predicate of the program).  The generator only reads
+    the program — apply the batches via
+    :meth:`~repro.datalog.incremental.MaterializedModel.apply` or a
+    transaction loop.
+    """
+    rng = _rng(seed)
+    if predicates is None:
+        predicates = {name for name, _ in program.edb_predicates()}
+    else:
+        predicates = set(predicates)
+    live = [f.atom for f in program.facts if f.atom.predicate in predicates]
+    live_set = set(live)
+    retired = []
+    values_at = {}
+    for fact in live:
+        key = (fact.predicate, len(fact.args))
+        pools = values_at.setdefault(key, tuple(set() for _ in fact.args))
+        for position, value in enumerate(fact.args):
+            pools[position].add(value)
+    # The pools are fixed after the initial scan; sort them once so
+    # synthesis is deterministic without re-sorting per attempt.
+    values_at = {
+        key: tuple(tuple(sorted(pool, key=str)) for pool in pools)
+        for key, pools in values_at.items()
+    }
+    relation_keys = sorted(values_at)
+    if not relation_keys:
+        return
+
+    def synthesise(blocked):
+        for _ in range(20):
+            key = relation_keys[rng.randrange(len(relation_keys))]
+            pools = values_at[key]
+            candidate = Atom(key[0], tuple(rng.choice(pool) for pool in pools))
+            if candidate not in live_set and candidate not in blocked:
+                return candidate
+        return None
+
+    for _ in range(batches):
+        size = batch_size or max(1, int(len(live) * churn))
+        deletions = rng.sample(live, min(size, len(live)))
+        deleted_set = set(deletions)
+        insertions = []
+        chosen = set()
+        for _ in range(size):
+            candidate = None
+            if retired and rng.random() < reinsert_ratio:
+                candidate = retired.pop(rng.randrange(len(retired)))
+                if candidate in live_set or candidate in chosen or candidate in deleted_set:
+                    candidate = None
+            if candidate is None:
+                candidate = synthesise(chosen | deleted_set)
+            if candidate is None:
+                continue
+            chosen.add(candidate)
+            insertions.append(candidate)
+        yield insertions, deletions
+        live = [fact for fact in live if fact not in deleted_set] + insertions
+        live_set = (live_set - deleted_set) | chosen
+        retired.extend(deletions)
 
 
 def join_chain_program(relations=3, rows=200, distinct_values=40, seed=0):

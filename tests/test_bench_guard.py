@@ -1,0 +1,56 @@
+"""Wire ``benchmarks/check_bench.py`` into the tier-1 verify flow.
+
+The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
+against; these tests fail when it goes stale (a strategy or the incremental
+mode is missing, model agreement was not verified, the incremental speedup
+slipped below its 10x target) or when indexed evaluation regresses more than
+2x against the committed ratio on a quick re-measurement.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", ROOT / "benchmarks" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+sys.modules["check_bench"] = check_bench
+_SPEC.loader.exec_module(check_bench)
+
+
+@pytest.fixture(scope="module")
+def report():
+    path = ROOT / "BENCH_datalog.json"
+    if not path.exists():
+        pytest.fail("BENCH_datalog.json is missing — run benchmarks/run_bench.py")
+    return check_bench.load_report(path)
+
+
+def test_bench_file_is_fresh(report):
+    problems = check_bench.structure_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+def test_structure_check_catches_missing_incremental(report):
+    stale = dict(report)
+    stale.pop("incremental", None)
+    assert any("incremental" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_missing_strategy(report):
+    stale = dict(report)
+    stale["rows"] = [
+        {**row, "strategies": {k: v for k, v in row["strategies"].items() if k != "indexed"}}
+        for row in report["rows"]
+    ]
+    assert any("indexed" in p for p in check_bench.structure_problems(stale))
+
+
+@pytest.mark.slow
+def test_indexed_speedup_has_not_regressed(report):
+    problems = check_bench.regression_problems(report)
+    assert not problems, "; ".join(problems)

@@ -52,3 +52,12 @@ def test_query_optimization_example(capsys):
     assert "⊨_KFOPCE equivalent: True" in output
     assert "dropped redundant conjunct" in output
     assert "speedup" in output
+
+
+def test_incremental_updates_example(capsys):
+    _load("incremental_updates").main()
+    output = capsys.readouterr().out
+    assert "incremental and recompute agree: True" in output
+    assert "stream speedup" in output
+    assert "preview without edge(b, d): path(a, d) holds: False" in output
+    assert "rollback left the view untouched: True" in output
