@@ -13,16 +13,21 @@ the tier-1 verify flow) and runnable as a CLI::
 
 *Staleness* (``structure_problems``): the committed file must cover every
 engine strategy on every row, verify model agreement, carry the
-indexed-vs-semi-naive headline, and include the incremental
-view-maintenance section with its >= 10x apply-vs-recompute speedup — a
-PR that adds a mode without re-running ``run_bench.py`` fails here.
+indexed-vs-semi-naive headline, include the incremental view-maintenance
+section with its >= 10x apply-vs-recompute speedup, and include the
+magic-set ``query`` section with answers verified and the headline ``bf``
+point-query speedup at or above its 5x target — a PR that adds a mode
+without re-running ``run_bench.py`` fails here.
 
 *Regression* (``regression_problems``): re-times the indexed strategy
 against unindexed semi-naive on a committed transitive-closure row and fails
-when the measured speedup falls below half the committed one.  Comparing
-*ratios* keeps the check machine-independent; the 2x tolerance absorbs
-scheduler noise.  By default the row is the largest one whose semi-naive
-cell stays under ~2 s so the check is cheap enough for every test run.
+when the measured speedup falls below half the committed one; likewise
+(``query_regression_problems``) re-times a magic-set point query against
+full materialization on the committed quick query row with the same
+tolerance.  Comparing *ratios* keeps the checks machine-independent; the 2x
+tolerance absorbs scheduler noise.  By default the rows re-measured are the
+largest ones cheap enough for every test run (committed semi-naive cell
+under ~2 s, committed full-materialization cell under ~1 s).
 """
 
 import argparse
@@ -35,13 +40,21 @@ ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
-from repro.workloads.generators import transitive_closure_program  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    point_query,
+    same_generation_program,
+    transitive_closure_program,
+)
 
 BENCH_PATH = ROOT / "BENCH_datalog.json"
 #: measured speedup may be at most this factor below the committed one
 REGRESSION_TOLERANCE = 2.0
 #: default regression row: skip rows whose committed semi-naive cell is slower
 QUICK_SECONDS_CAP = 2.0
+#: query regression row: skip rows whose committed full cell is slower
+QUERY_SECONDS_CAP = 1.0
+#: the committed headline bf point-query speedup must stay at or above this
+QUERY_SPEEDUP_TARGET = 5.0
 
 
 def load_report(path=BENCH_PATH):
@@ -83,6 +96,28 @@ def structure_problems(report):
         if speedup is None or speedup < 10.0:
             problems.append(
                 f"incremental apply speedup {speedup} is below the 10x target"
+            )
+    query_rows = report.get("query")
+    if not query_rows:
+        problems.append(
+            "missing magic-set query section — re-run benchmarks/run_bench.py"
+        )
+    else:
+        for row in query_rows:
+            if not row.get("answers_match", False):
+                problems.append(
+                    f"query row {row.get('params')} did not verify magic-vs-full "
+                    "answer agreement"
+                )
+            if not row.get("patterns"):
+                problems.append(f"query row {row.get('params')} has no binding patterns")
+        largest = max(query_rows, key=lambda r: r.get("facts", 0))
+        headline = (largest.get("patterns") or {}).get("bf") or {}
+        speedup = headline.get("speedup_magic_vs_full")
+        if speedup is None or speedup < QUERY_SPEEDUP_TARGET:
+            problems.append(
+                f"magic point-query speedup {speedup} is below the "
+                f"{QUERY_SPEEDUP_TARGET}x target on the largest query row"
             )
     return problems
 
@@ -142,11 +177,61 @@ def regression_problems(report, full=False):
     return []
 
 
+def query_regression_row(report, full=False):
+    """Pick the committed query row the regression check re-measures: the
+    largest one (the headline row with ``full=True``, otherwise the largest
+    whose committed full-materialization cell is quick enough to re-time on
+    every test run) — it must carry a ``bf`` pattern cell."""
+    candidates = []
+    for row in report.get("query", []) or []:
+        if not (row.get("patterns") or {}).get("bf"):
+            continue
+        if not full and row.get("full_seconds", 0.0) > QUERY_SECONDS_CAP:
+            continue
+        candidates.append(row)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: r.get("facts", 0))
+
+
+def query_regression_problems(report, full=False):
+    """Re-measure magic vs full on a committed query row; return problems
+    when the measured speedup regressed more than ``REGRESSION_TOLERANCE``x
+    against the committed one."""
+    row = query_regression_row(report, full=full)
+    if row is None:
+        return ["no committed query row suitable for re-measurement"]
+    cell = row["patterns"]["bf"]
+    committed = row["full_seconds"] / max(cell["magic_seconds"], 1e-9)
+    goal = point_query(same_generation_program(**row["params"]), "sg")
+    # Magic cells are small (tens of ms), so best-of-3 keeps the ratio
+    # stable against scheduler hiccups; the full cell is longer — one run.
+    magic_best = None
+    for _ in range(3):
+        engine = DatalogEngine(same_generation_program(**row["params"]))
+        start = time.perf_counter()
+        engine.query(goal, mode="magic")
+        elapsed = time.perf_counter() - start
+        magic_best = elapsed if magic_best is None or elapsed < magic_best else magic_best
+    engine = DatalogEngine(same_generation_program(**row["params"]))
+    start = time.perf_counter()
+    engine.query(goal, mode="full")
+    full_seconds = time.perf_counter() - start
+    measured = full_seconds / max(magic_best, 1e-9)
+    if measured < committed / REGRESSION_TOLERANCE:
+        return [
+            f"magic-set queries regressed: measured speedup {measured:.1f}x vs "
+            f"committed {committed:.1f}x on {row['facts']} same-generation facts "
+            f"(tolerance {REGRESSION_TOLERANCE}x)"
+        ]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", type=pathlib.Path, default=BENCH_PATH)
     parser.add_argument("--full", action="store_true",
-                        help="re-measure the true headline row (slow)")
+                        help="re-measure the true headline rows (slow)")
     parser.add_argument("--no-measure", action="store_true",
                         help="structure/staleness checks only")
     args = parser.parse_args(argv)
@@ -158,6 +243,7 @@ def main(argv=None):
     problems = structure_problems(report)
     if not args.no_measure:
         problems += regression_problems(report, full=args.full)
+        problems += query_regression_problems(report, full=args.full)
     for problem in problems:
         print(f"FAIL: {problem}")
     if not problems:

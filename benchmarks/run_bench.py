@@ -5,9 +5,11 @@ Times every evaluation strategy (naive, semi-naive, indexed) across a grid of
 workload sizes — transitive closure, same-generation and join-heavy chains —
 verifying along the way that every strategy computes the identical least
 model, then replays a tell/retract update stream to measure incremental view
-maintenance (``MaterializedModel.apply``) against full recomputation.  The
-JSON it writes is the perf trajectory future PRs diff against
-(``benchmarks/check_bench.py`` guards it).
+maintenance (``MaterializedModel.apply``) against full recomputation, and
+times goal-directed (magic-set) point queries against full materialization
+at several binding patterns (the ``query`` section).  The JSON it writes is
+the perf trajectory future PRs diff against (``benchmarks/check_bench.py``
+guards it).
 
 Usage::
 
@@ -23,6 +25,8 @@ Usage::
                                                    # benchmarks and record
                                                    # their outcome
     python benchmarks/run_bench.py --no-incremental  # skip the update stream
+    python benchmarks/run_bench.py --no-query      # skip the magic-set
+                                                   # query section
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
 nested-loop joins are the quadratic-and-worse baseline the ablation exists to
@@ -42,8 +46,11 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
 from repro.datalog.incremental import MaterializedModel  # noqa: E402
+from repro.logic.terms import Variable  # noqa: E402
+from repro.logic.syntax import Atom  # noqa: E402
 from repro.workloads.generators import (  # noqa: E402
     join_chain_program,
+    point_query,
     same_generation_program,
     transitive_closure_program,
     update_stream,
@@ -191,6 +198,96 @@ def run_incremental(chains=400, length=5, batches=20, churn=0.01, seed=0):
     return cell
 
 
+QUERY_GRID = [
+    dict(depth=5, branching=3),   # quick row — re-measured by check_bench
+    dict(depth=7, branching=3),   # headline row (~2000+ facts)
+]
+
+QUICK_QUERY_GRID = [dict(depth=5, branching=3)]
+
+
+def run_query_bench(grid=None):
+    """Time goal-directed (magic-set) evaluation against full
+    materialization on same-generation point queries.
+
+    Per workload size, the full-materialization cost is measured once — a
+    fresh engine answering the ``bf`` point goal with ``mode="full"``; the
+    fixpoint dominates and is identical for every binding pattern.  Each
+    binding pattern (``bf``: "which z shares a generation with this
+    leaf?", ``bb``: a ground membership check, ``ff``: all pairs) then
+    gets its own fresh-engine magic measurement, and every pattern's
+    answers are verified against the full model before any timing is
+    trusted.
+    """
+    rows = []
+    for params in grid or QUERY_GRID:
+        program = same_generation_program(**params)
+        facts = len(program.facts)
+        bf_goal = point_query(program, "sg")
+        leaf = bf_goal.args[0]
+        goals = {
+            "bf": bf_goal,
+            "bb": Atom("sg", (leaf, leaf)),
+            "ff": Atom("sg", (Variable("y"), Variable("z"))),
+        }
+        full_engine = DatalogEngine(same_generation_program(**params))
+        start = time.perf_counter()
+        full_result = full_engine.query(bf_goal, mode="full")
+        full_seconds = time.perf_counter() - start
+        row = {
+            "workload": "same_generation",
+            "params": params,
+            "facts": facts,
+            "goal": str(bf_goal),
+            "full_seconds": round(full_seconds, 6),
+            "full_facts_derived": full_result.facts_derived,
+            "patterns": {},
+            "answers_match": True,
+        }
+        for pattern, goal in goals.items():
+            if pattern == "ff" and facts > 1500:
+                # ff magic evaluates the whole relation — measured on the
+                # quick row; at headline scale it would double the bench
+                # runtime to show a ratio of ~1.
+                row["patterns"][pattern] = None
+                continue
+            engine = DatalogEngine(same_generation_program(**params))
+            start = time.perf_counter()
+            magic_result = engine.query(goal, mode="magic")
+            magic_seconds = time.perf_counter() - start
+            reference = full_engine.query(goal, mode="full")  # cached model
+            canonical = lambda result: sorted(
+                sorted((v.name, p.name) for v, p in b.items()) for b in result
+            )
+            if canonical(magic_result) != canonical(reference):
+                row["answers_match"] = False
+            row["patterns"][pattern] = {
+                "goal": str(goal),
+                "answers": len(magic_result),
+                "magic_seconds": round(magic_seconds, 6),
+                "magic_facts_derived": magic_result.facts_derived,
+                "magic_join_passes": magic_result.join_passes,
+                "speedup_magic_vs_full": round(full_seconds / magic_seconds, 2)
+                if magic_seconds > 0
+                else None,
+            }
+        if not row["answers_match"]:
+            raise SystemExit(
+                f"magic-set answers disagree with full materialization on "
+                f"{row['workload']} {params}"
+            )
+        rows.append(row)
+        rendered = {
+            pattern: (f"{cell['speedup_magic_vs_full']}x" if cell else "-")
+            for pattern, cell in row["patterns"].items()
+        }
+        print(
+            f"query {params} ({facts} facts): full {full_seconds * 1000:.0f} ms, "
+            f"magic speedups {rendered}"
+        )
+    return rows
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -227,12 +324,16 @@ def main(argv=None):
                         help="skip the naive strategy above this many facts")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless indexed is >= 5x faster than "
-                             "semi-naive on the largest transitive-closure workload "
-                             "and incremental apply is >= 10x faster than recompute")
+                             "semi-naive on the largest transitive-closure workload, "
+                             "incremental apply is >= 10x faster than recompute, and "
+                             "magic-set point queries are >= 5x faster than full "
+                             "materialization on the largest query row")
     parser.add_argument("--experiments", action="store_true",
                         help="also run the E7/E9 pytest benchmarks")
     parser.add_argument("--no-incremental", action="store_true",
                         help="skip the incremental view-maintenance stream")
+    parser.add_argument("--no-query", action="store_true",
+                        help="skip the magic-set query section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -254,6 +355,10 @@ def main(argv=None):
             report["incremental"] = run_incremental(chains=100, length=5, batches=10)
         else:
             report["incremental"] = run_incremental(chains=400, length=5, batches=20)
+    if not args.no_query:
+        report["query"] = run_query_bench(
+            QUICK_QUERY_GRID if args.quick else QUERY_GRID
+        )
     if args.experiments:
         report["experiments"] = run_experiments()
 
@@ -276,6 +381,19 @@ def main(argv=None):
         if incremental_speedup is None or incremental_speedup < 10.0:
             raise SystemExit(
                 f"--check failed: incremental speedup {incremental_speedup} < 10.0"
+            )
+    if "query" in report and report["query"]:
+        largest = max(report["query"], key=lambda r: r["facts"])
+        query_speedup = (largest["patterns"].get("bf") or {}).get(
+            "speedup_magic_vs_full"
+        )
+        print(
+            f"query headline: magic is {query_speedup}x faster than full "
+            f"materialization on {largest['facts']} same-generation facts (bf)"
+        )
+        if args.check and (query_speedup is None or query_speedup < 5.0):
+            raise SystemExit(
+                f"--check failed: magic query speedup {query_speedup} < 5.0"
             )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")

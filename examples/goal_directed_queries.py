@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Goal-directed queries: magic sets vs full materialization.
+
+Builds a same-generation program over a random family tree and asks one
+point question — "who is in this leaf's generation?" — two ways:
+
+* ``mode="full"``: materialize the entire least model (every ``sg`` pair
+  of every generation), then match the goal against it;
+* ``mode="magic"``: rewrite the program for the goal's ``bf`` binding
+  pattern (adornments + supplementary/magic predicates) and evaluate only
+  the goal-relevant subprogram — the ancestors of the queried leaf and
+  their generations.
+
+The point of the demo is the counters on the returned ``QueryResult``:
+both modes produce identical bindings, but magic derives orders of
+magnitude fewer facts and runs far fewer join passes.  It also shows the
+fallback contract: a goal whose rewrite would lose stratifiability is
+answered by full evaluation instead (``mode="auto"``), never incorrectly.
+
+Run with ``PYTHONPATH=src python examples/goal_directed_queries.py``.
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datalog import DatalogEngine, DatalogProgram
+from repro.logic.builders import atom
+from repro.logic.syntax import Atom
+from repro.logic.terms import Variable
+from repro.workloads.generators import point_query, same_generation_program
+
+
+def main():
+    depth, branching = 6, 3
+    program = same_generation_program(depth=depth, branching=branching)
+    goal = point_query(program, "sg")
+    print(f"same-generation tree: depth {depth}, {len(program.facts)} facts")
+    print(f"point query: {goal.predicate}({goal.args[0]}, {goal.args[1]})\n")
+
+    timings = {}
+    results = {}
+    for mode in ("magic", "full"):
+        engine = DatalogEngine(same_generation_program(depth=depth, branching=branching))
+        start = time.perf_counter()
+        results[mode] = engine.query(goal, mode=mode)
+        timings[mode] = time.perf_counter() - start
+
+    for mode in ("magic", "full"):
+        result = results[mode]
+        print(
+            f"{mode:>5}: {len(result)} answers in {timings[mode] * 1000:7.1f} ms   "
+            f"(adornment {result.adornment}, facts derived {result.facts_derived}, "
+            f"join passes {result.join_passes})"
+        )
+
+    canonical = lambda result: sorted(
+        sorted((v.name, p.name) for v, p in binding.items()) for binding in result
+    )
+    agree = canonical(results["magic"]) == canonical(results["full"])
+    print(f"\nmagic and full answers agree: {agree}")
+    print(f"query speedup: {timings['full'] / timings['magic']:.1f}x")
+    derived_ratio = results["full"].facts_derived / max(results["magic"].facts_derived, 1)
+    print(f"facts derived, full vs magic: {derived_ratio:.0f}x fewer under magic")
+
+    # The fallback contract: this program is stratified, but the binding
+    # passing of its rewrite crosses the negation, so auto mode answers it
+    # by full evaluation and says so.
+    x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+    tricky = DatalogProgram()
+    tricky.add_fact(atom("a", "n1", "n2"))
+    tricky.add_fact(atom("b", "n2", "n3"))
+    tricky.add_fact(atom("c", "n2", "n3"))
+    tricky.add_fact(atom("d", "n3"))
+    tricky.rule(
+        Atom("p", (x,)),
+        Atom("a", (x, y)), (Atom("r", (y,)), False), Atom("b", (y, z)), Atom("q", (z,)),
+    )
+    tricky.rule(Atom("r", (y,)), Atom("c", (y, w)), Atom("q", (w,)))
+    tricky.rule(Atom("q", (z,)), Atom("d", (z,)))
+    result = DatalogEngine(tricky).query(Atom("p", (x,)))
+    print(f"\nnon-rewritable goal answered via mode={result.mode!r} "
+          f"(fell back: {result.fallback_reason is not None})")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,18 +18,35 @@ This subpackage provides that substrate:
   model consistent under EDB insertions *and* deletions at delta cost
   (derivation counting for non-recursive predicates, DRed
   overdelete/rederive for recursive ones);
+* :mod:`repro.datalog.magic` — goal-directed query evaluation: adornment
+  propagation and magic-set rewriting (supplementary predicates / sideways
+  information passing), behind ``DatalogEngine.query``;
+* :mod:`repro.datalog.stats` — observed per-predicate bucket-size
+  histograms (:class:`~repro.datalog.stats.JoinStatistics`) feeding the
+  indexed strategy's join planner;
 * :mod:`repro.datalog.completion` — Clark's completion ``Comp(DB)`` as a set
   of FOPCE sentences (plus unique-names handled by the FOPCE semantics
   itself).
 """
 
 from repro.datalog.program import DatalogFact, DatalogLiteral, DatalogProgram, DatalogRule
-from repro.datalog.engine import STRATEGIES, DatalogEngine, EvaluationStatistics
+from repro.datalog.engine import (
+    PLANNERS,
+    QUERY_MODES,
+    STRATEGIES,
+    DatalogEngine,
+    EvaluationStatistics,
+    QueryResult,
+)
 from repro.datalog.index import FactIndex
 from repro.datalog.incremental import MaintenanceStatistics, MaterializedModel, UpdateResult
+from repro.datalog.magic import MagicProgram, adornment_of
+from repro.datalog.magic import rewrite as magic_rewrite
+from repro.datalog.stats import ColumnStatistics, JoinStatistics
 from repro.datalog.completion import clark_completion
 
 __all__ = [
+    "ColumnStatistics",
     "DatalogEngine",
     "DatalogFact",
     "DatalogLiteral",
@@ -37,9 +54,16 @@ __all__ = [
     "DatalogRule",
     "EvaluationStatistics",
     "FactIndex",
+    "JoinStatistics",
+    "MagicProgram",
     "MaintenanceStatistics",
     "MaterializedModel",
+    "PLANNERS",
+    "QUERY_MODES",
+    "QueryResult",
     "STRATEGIES",
     "UpdateResult",
+    "adornment_of",
     "clark_completion",
+    "magic_rewrite",
 ]

@@ -45,18 +45,29 @@ fixpoint on every call.  For update-heavy callers,
 :class:`~repro.datalog.incremental.MaterializedModel` maintains the model
 under EDB insertions and deletions at delta cost and pushes it back into
 this cache via :meth:`DatalogEngine.install_model`.
+
+``query()`` is *goal-directed* by default: when no model is cached (or
+maintained), a single goal is answered by magic-set rewriting
+(:mod:`repro.datalog.magic`) — the fixpoint then only derives the
+goal-relevant subprogram, O(relevant facts) instead of O(least model).
+The join planner of the indexed strategy is fed by observed bucket-size
+histograms (:mod:`repro.datalog.stats`) rather than the uniform-distribution
+estimate, refreshed every fixpoint round.
 """
 
 from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.datalog.index import FactIndex
-from repro.exceptions import StratificationError, UnsafeRuleError
+from repro.datalog.stats import JoinStatistics
+from repro.exceptions import MagicRewriteError, StratificationError, UnsafeRuleError
 from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter, Variable
 from repro.semantics.worlds import World
 
 STRATEGIES = ("naive", "semi-naive", "indexed")
+PLANNERS = ("histogram", "uniform")
+QUERY_MODES = ("auto", "magic", "full")
 
 
 @dataclass
@@ -77,15 +88,77 @@ class EvaluationStatistics:
     delta_passes_skipped: int = 0
 
 
-class DatalogEngine:
-    """Evaluates a :class:`~repro.datalog.program.DatalogProgram`."""
+class QueryResult(list):
+    """The answer to one :meth:`DatalogEngine.query` call.
 
-    def __init__(self, program, strategy="indexed"):
+    Behaves as a plain list of ``{Variable: Parameter}`` binding dicts (one
+    per matching fact), so existing callers keep working, and additionally
+    carries how the answer was computed:
+
+    * ``goal`` — the query atom; ``adornment`` — its binding pattern
+      (``"bf"``-style, see :func:`repro.datalog.magic.adornment_of`);
+    * ``mode`` — ``"magic"`` (goal-directed rewrite), ``"full"`` (answered
+      from the full least model), ``"edb"`` (direct probe of an extensional
+      predicate) or ``"materialized"`` (probe of an incrementally
+      maintained model);
+    * ``facts_touched`` — how many facts the evaluation materialized or
+      scanned to produce the bindings; ``join_passes`` / ``iterations`` /
+      ``facts_derived`` — the fixpoint counters of the evaluation run
+      performed *for this query* (all zero when a cached or maintained
+      model answered it);
+    * ``fallback_reason`` — why an ``"auto"`` query fell back from magic to
+      full evaluation (``None`` when it did not).
+    """
+
+    def __init__(self, bindings=(), *, goal=None, mode="full", adornment=None,
+                 facts_touched=0, join_passes=0, iterations=0,
+                 facts_derived=0, fallback_reason=None):
+        super().__init__(bindings)
+        self.goal = goal
+        self.mode = mode
+        self.adornment = adornment
+        self.facts_touched = facts_touched
+        self.join_passes = join_passes
+        self.iterations = iterations
+        self.facts_derived = facts_derived
+        self.fallback_reason = fallback_reason
+
+    @property
+    def bindings(self):
+        """The binding dicts as a plain list (the result itself is also a
+        list; this property exists for readable call sites)."""
+        return list(self)
+
+    def __repr__(self):
+        return (
+            f"QueryResult({list.__repr__(self)}, mode={self.mode!r}, "
+            f"adornment={self.adornment!r}, facts_touched={self.facts_touched}, "
+            f"join_passes={self.join_passes})"
+        )
+
+
+class DatalogEngine:
+    """Evaluates a :class:`~repro.datalog.program.DatalogProgram`.
+
+    ``strategy`` selects the fixpoint machinery (one of
+    :data:`STRATEGIES`); ``planner`` selects the join-planning estimate of
+    the indexed strategy — ``"histogram"`` (the default: observed
+    bucket-size histograms, see :mod:`repro.datalog.stats`) or
+    ``"uniform"`` (the distinct-value-count estimate of
+    :meth:`~repro.datalog.index.FactIndex.selectivity`, kept as an
+    ablation baseline).
+    """
+
+    def __init__(self, program, strategy="indexed", planner="histogram"):
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
+        if planner not in PLANNERS:
+            raise ValueError(f"planner must be one of {', '.join(PLANNERS)}")
         self.program = program
         self.strategy = strategy
+        self.planner = planner
         self.statistics = EvaluationStatistics()
+        self.planner_statistics = JoinStatistics()
         self._strata = self._stratify()
         self._strata_key = self._program_key()
         self._model = None
@@ -119,6 +192,7 @@ class DatalogEngine:
             self._strata = self._stratify()
             self._strata_key = key
         self.statistics = EvaluationStatistics()
+        self.planner_statistics = JoinStatistics()
         if self.strategy == "indexed":
             model = self._evaluate_indexed()
         else:
@@ -127,22 +201,92 @@ class DatalogEngine:
         self._model_key = key
         return model
 
-    def query(self, atom):
-        """Return the substitutions (as dicts) matching *atom* against the
-        least model."""
+    def query(self, atom, mode="auto"):
+        """Answer a single goal *atom* (which may mix constants and
+        variables); returns a :class:`QueryResult` — a list of
+        ``{Variable: Parameter}`` binding dicts plus evaluation counters.
+
+        ``mode`` selects the evaluation path (one of :data:`QUERY_MODES`):
+
+        * ``"full"`` — materialize (or reuse) the full least model and
+          match the goal against it;
+        * ``"magic"`` — goal-directed: magic-set rewrite
+          (:mod:`repro.datalog.magic`) and evaluate only the goal-relevant
+          subprogram (extensional goals skip the rewrite and probe the
+          facts directly); raises
+          :class:`~repro.exceptions.MagicRewriteError` when the rewrite
+          loses stratifiability;
+        * ``"auto"`` (default) — use the cached/maintained model when one
+          is available (O(answers)), probe extensional goals directly,
+          otherwise try magic and fall back to full evaluation on
+          :class:`~repro.exceptions.MagicRewriteError`
+          (``result.fallback_reason`` says why).
+        """
+        if mode not in QUERY_MODES:
+            raise ValueError(f"mode must be one of {', '.join(QUERY_MODES)}")
+        from repro.datalog import magic
+
+        adornment = magic.adornment_of(atom)
+        fallback_reason = None
+        if mode != "full":
+            cached = self._model is not None and self._model_key == self._program_key()
+            maintained = self._model_provider is not None
+            extensional = (
+                (atom.predicate, len(atom.args)) not in self.program.idb_predicates()
+            )
+            if extensional and (mode == "magic" or not (cached or maintained)):
+                # Extensional goal, no model at hand: the least model holds
+                # exactly the EDB facts for it — one arity-filtered,
+                # duplicate-collapsing pass over the fact list, without
+                # materializing anything.
+                arity = len(atom.args)
+                facts = {
+                    fact.atom
+                    for fact in self.program.facts
+                    if fact.atom.predicate == atom.predicate
+                    and len(fact.atom.args) == arity
+                }
+                bindings, touched = _match_goal(atom, facts)
+                return QueryResult(
+                    bindings, goal=atom, mode="edb", adornment=adornment,
+                    facts_touched=touched,
+                )
+            if not extensional and (mode == "magic" or not (cached or maintained)):
+                try:
+                    answers, _, inner = magic.answer(
+                        self.program, atom,
+                        strategy=self.strategy, planner=self.planner,
+                    )
+                except MagicRewriteError as error:
+                    if mode == "magic":
+                        raise
+                    fallback_reason = str(error)
+                else:
+                    return QueryResult(
+                        answers, goal=atom, mode="magic", adornment=adornment,
+                        facts_touched=len(inner.least_model()),
+                        join_passes=inner.statistics.rule_applications,
+                        iterations=inner.statistics.iterations,
+                        facts_derived=inner.statistics.facts_derived,
+                    )
+        statistics_before = self.statistics
         model = self.least_model()
-        results = []
-        arity = len(atom.args)
-        for fact in model.atoms_for(atom.predicate):
-            if len(fact.args) != arity:
-                continue
-            binding = _match(atom.args, fact.args, {})
-            if binding is not None:
-                results.append(binding)
-        return results
+        evaluated = self.statistics is not statistics_before
+        bindings, touched = _match_goal(atom, model.atoms_for(atom.predicate))
+        return QueryResult(
+            bindings, goal=atom, mode="full", adornment=adornment,
+            facts_touched=len(model) if evaluated else touched,
+            join_passes=self.statistics.rule_applications if evaluated else 0,
+            iterations=self.statistics.iterations if evaluated else 0,
+            facts_derived=self.statistics.facts_derived if evaluated else 0,
+            fallback_reason=fallback_reason,
+        )
 
     def holds(self, atom):
-        """Return True when the ground *atom* is in the least model."""
+        """Return True when the ground *atom* is in the least model
+        (computes or reuses the cached model; for a one-off ground check on
+        an uncached engine, ``query(atom, mode="auto")`` is the
+        goal-directed alternative)."""
         return self.least_model().holds(atom)
 
     def install_model(self, model):
@@ -195,6 +339,14 @@ class DatalogEngine:
                 self._indexed_fixpoint(rules, index)
         return World(index)
 
+    def _planner_stats(self, index):
+        """Refresh and return the histogram statistics for *index*, or
+        ``None`` under the uniform planner (the scheduler then falls back
+        to ``index.selectivity``)."""
+        if self.planner != "histogram":
+            return None
+        return self.planner_statistics.refresh(index)
+
     # -- stratification -----------------------------------------------------
     def _stratify(self):
         """Split the intensional predicates into strata; extensional
@@ -246,7 +398,7 @@ class DatalogEngine:
         return [ordered[i] for i in sorted(ordered)]
 
     # -- join planning -------------------------------------------------------
-    def _schedule(self, rule, delta_position=None, index=None):
+    def _schedule(self, rule, delta_position=None, index=None, stats=None):
         """Order the body of *rule* for evaluation.
 
         Returns a list of ``(literal, source)`` pairs where ``source`` is
@@ -255,8 +407,11 @@ class DatalogEngine:
         before the delta position, per the non-duplicating decomposition).
         Negative literals are deferred until every variable they mention is
         bound by the positive prefix.  When *index* is given, positive
-        literals are greedily reordered by estimated selectivity; otherwise
-        their program order is preserved.
+        literals are greedily reordered by estimated selectivity — taken
+        from *stats* (a :class:`~repro.datalog.stats.JoinStatistics`
+        histogram snapshot) when provided, otherwise from the index's
+        uniform estimate; without an index their program order is
+        preserved.
         """
         pending_negative = [l for l in rule.body if not l.positive]
         positives = [(i, l) for i, l in enumerate(rule.body) if l.positive]
@@ -296,7 +451,8 @@ class DatalogEngine:
                         for p, arg in enumerate(atom.args)
                         if isinstance(arg, Parameter) or arg in bound
                     ]
-                    estimate = index.selectivity(
+                    estimator = stats if stats is not None else index
+                    estimate = estimator.selectivity(
                         atom.predicate, len(atom.args), bound_positions
                     )
                     score = (0 if bound_positions else 1, estimate)
@@ -380,11 +536,15 @@ class DatalogEngine:
         first_round = True
         while True:
             self.statistics.iterations += 1
+            # Feed the planner the observed bucket shapes of this round's
+            # database, so derived relations that grew last round reorder
+            # this round's joins.
+            stats = self._planner_stats(index)
             new_facts = set()
             for rule in rules:
                 if first_round:
                     self.statistics.rule_applications += 1
-                    schedule = self._schedule(rule, index=index)
+                    schedule = self._schedule(rule, index=index, stats=stats)
                     for derived in self._indexed_join(rule, schedule, index, None, {}, 0):
                         if derived not in index:
                             new_facts.add(derived)
@@ -398,7 +558,7 @@ class DatalogEngine:
                         continue
                     self.statistics.rule_applications += 1
                     schedule = self._schedule(
-                        rule, delta_position=delta_position, index=index
+                        rule, delta_position=delta_position, index=index, stats=stats
                     )
                     for derived in self._indexed_join(rule, schedule, index, delta, {}, 0):
                         if derived not in index:
@@ -474,6 +634,23 @@ class DatalogEngine:
                 yield from self._indexed_join(
                     rule, schedule, index, delta, binding, position + 1
                 )
+
+
+def _match_goal(goal, facts):
+    """Match *goal* against an iterable of ground facts; return
+    ``(bindings, touched)`` — the binding dicts and how many facts were
+    scanned."""
+    bindings = []
+    touched = 0
+    arity = len(goal.args)
+    for fact in facts:
+        touched += 1
+        if len(fact.args) != arity:
+            continue
+        binding = _match(goal.args, fact.args, {})
+        if binding is not None:
+            bindings.append(binding)
+    return bindings, touched
 
 
 def _head_atom(rule, binding):

@@ -185,21 +185,40 @@ class MaterializedModel:
         self._ensure_consistent()
         return _as_ground_atom(atom) in self._index
 
-    def query(self, atom):
-        """Return the substitutions (as dicts) matching *atom* against the
-        maintained model, probing the index with the atom's parameters."""
+    def query(self, atom, mode="materialized"):
+        """Answer a goal *atom* against the maintained model; returns a
+        :class:`~repro.datalog.engine.QueryResult` (a list of binding dicts
+        plus counters).
+
+        The default mode ``"materialized"`` probes the maintained index
+        with the atom's bound arguments — already goal-directed,
+        O(candidate bucket) with no evaluation at all.  Any other mode
+        (``"auto"`` / ``"magic"`` / ``"full"``) is delegated to the wrapped
+        engine's :meth:`~repro.datalog.engine.DatalogEngine.query`, e.g. to
+        compare a magic-set evaluation against the maintained answer.
+        """
         self._ensure_consistent()
+        if mode != "materialized":
+            return self.engine.query(atom, mode=mode)
+        from repro.datalog.engine import QueryResult
+        from repro.datalog.magic import adornment_of
+
         bound = [
             (position, arg)
             for position, arg in enumerate(atom.args)
             if isinstance(arg, Parameter)
         ]
         results = []
+        touched = 0
         for fact in self._index.candidates(atom.predicate, len(atom.args), bound):
+            touched += 1
             binding = _match(atom.args, fact.args, {})
             if binding is not None:
                 results.append(binding)
-        return results
+        return QueryResult(
+            results, goal=atom, mode="materialized",
+            adornment=adornment_of(atom), facts_touched=touched,
+        )
 
     def derivation_count(self, atom):
         """The number of derivations supporting *atom* (EDB membership

@@ -209,11 +209,27 @@ class FactIndex:
                 best = bucket
         return best
 
+    def histogram(self, predicate, arity, position):
+        """The bucket-size histogram of one argument *position* of
+        ``predicate/arity``: a dict mapping each distinct value to how many
+        facts carry it there (empty for an unknown relation).  This is the
+        raw material :class:`~repro.datalog.stats.JoinStatistics` snapshots
+        into planner estimates; treat the result as read-only."""
+        positional = self._arguments.get((predicate, arity))
+        if positional is None:
+            return {}
+        return {value: len(bucket) for value, bucket in positional[position].items()}
+
     def selectivity(self, predicate, arity, positions):
-        """Estimate how many facts survive binding the given argument
-        *positions* (uniform-distribution estimate: relation cardinality
-        divided by the distinct-value count of each bound position).  Used by
-        the join planner to order body literals."""
+        """Estimate how many facts of ``predicate/arity`` survive binding
+        the given argument *positions* (an iterable of position indexes).
+
+        This is the *uniform-distribution* estimate — relation cardinality
+        divided by the distinct-value count of each bound position — used
+        by the join planner when no observed histograms are available (see
+        :class:`~repro.datalog.stats.JoinStatistics` for the
+        histogram-based replacement).  Returns a float fact-count estimate.
+        """
         key = (predicate, arity)
         bucket = self._relations.get(key)
         if not bucket:

@@ -35,6 +35,8 @@ class DatalogLiteral:
         return rendered if self.positive else f"not {rendered}"
 
     def variables(self):
+        """The set of :class:`~repro.logic.terms.Variable` arguments of the
+        literal's atom."""
         return {a for a in self.atom.args if isinstance(a, Variable)}
 
 
@@ -89,9 +91,12 @@ class DatalogRule:
                     )
 
     def is_fact(self):
+        """True when the rule has an empty body (a ground head stored in
+        rule form)."""
         return not self.body
 
     def variables(self):
+        """Every variable mentioned by the rule, head and body combined."""
         found = {a for a in self.head.args if isinstance(a, Variable)}
         for literal in self.body:
             found |= literal.variables()

@@ -93,10 +93,20 @@ class DatalogView:
         """Return True when the ground atom is in the maintained model."""
         return self._materialized.holds(self._as_atom(atom))
 
-    def query(self, atom):
-        """Return the substitutions matching *atom* (which may contain
-        variables) against the maintained model."""
-        return self._materialized.query(self._as_atom(atom))
+    def query(self, atom, mode="materialized"):
+        """Answer a goal *atom* (a formula or source text, possibly with
+        variables) against the view; returns a
+        :class:`~repro.datalog.engine.QueryResult` — the binding dicts plus
+        counters.
+
+        ``mode="materialized"`` (default) probes the incrementally
+        maintained index — goal-directed reads at O(candidate bucket) cost.
+        ``"magic"`` / ``"auto"`` / ``"full"`` are delegated to the
+        underlying engine, so a magic-set evaluation can be run against the
+        view's current EDB (e.g. to cross-check the maintained state, or
+        after a rule change invalidated it).
+        """
+        return self._materialized.query(self._as_atom(atom), mode=mode)
 
     def preview(self, transaction):
         """The :class:`~repro.semantics.worlds.World` the view would show if

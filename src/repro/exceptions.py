@@ -67,6 +67,14 @@ class UnsafeRuleError(ReproError):
     in some positive body literal."""
 
 
+class MagicRewriteError(ReproError):
+    """Raised when a goal cannot be answered by magic-set rewriting — the
+    goal predicate is extensional, or the rewritten program loses
+    stratifiability (negation becomes entangled with the binding-passing
+    recursion).  ``DatalogEngine.query(mode="auto")`` catches this and falls
+    back to full materialization; ``mode="magic"`` lets it propagate."""
+
+
 class EvaluationDepthError(ReproError):
     """Raised when the demo evaluator exceeds its recursion/step budget,
     which indicates a (possibly) non-terminating query outside the

@@ -5,9 +5,11 @@ experiment (E6), the ablation benchmarks (E9) and the Datalog benchmark
 matrix (``benchmarks/run_bench.py``): random elementary databases and
 normal queries, relational instances, parameterised Datalog workloads
 (transitive closure, same-generation, join-heavy chains) that scale to
-thousands of facts, and tell/retract update streams over a program's EDB
-(``update_stream``) for the incremental view-maintenance benchmark.  All
-generators take an explicit ``seed`` so that benchmark rows are
+thousands of facts, tell/retract update streams over a program's EDB
+(``update_stream``) for the incremental view-maintenance benchmark, and
+goal workloads (``query_workload`` for bound/free mixes, ``point_query``
+for single reproducible point goals) for the magic-set query benchmark.
+All generators take an explicit ``seed`` so that benchmark rows are
 reproducible run to run.
 """
 
@@ -322,6 +324,98 @@ def update_stream(
         live = [fact for fact in live if fact not in deleted_set] + insertions
         live_set = (live_set - deleted_set) | chosen
         retired.extend(deletions)
+
+
+def query_workload(program, count=20, bound_ratio=0.5, patterns=None, predicates=None, seed=0):
+    """Generate goal atoms for the goal-directed query benchmark: *count*
+    queries against the IDB predicates of *program*, each argument position
+    independently bound to a constant (drawn from the program's parameters)
+    with probability *bound_ratio*, or left as a fresh variable.
+
+    *patterns* forces explicit binding patterns instead: an iterable of
+    adornment strings (``"bf"``, ``"bb"``, ...) cycled across the generated
+    goals — the way the benchmark pins down per-pattern rows.  *predicates*
+    restricts the goals to the given predicate names (default: every IDB
+    predicate).  Returns a list of :class:`~repro.logic.syntax.Atom` goals;
+    feed them to ``DatalogEngine.query`` (any mode).
+    """
+    rng = _rng(seed)
+    idb = sorted(
+        (name, arity)
+        for name, arity in program.idb_predicates()
+        if predicates is None or name in predicates
+    )
+    if not idb:
+        return []
+    constants = sorted(program.parameters(), key=lambda p: p.name)
+    if patterns is not None:
+        patterns = list(patterns)
+    goals = []
+    for index in range(count):
+        name, arity = idb[rng.randrange(len(idb))]
+        if patterns:
+            pattern = patterns[index % len(patterns)]
+            if len(pattern) != arity:
+                pattern = (pattern * arity)[:arity]
+            bound = [flag == "b" for flag in pattern]
+        else:
+            bound = [rng.random() < bound_ratio for _ in range(arity)]
+        args = tuple(
+            rng.choice(constants) if is_bound else Variable(f"q{position}")
+            for position, is_bound in enumerate(bound)
+        )
+        goals.append(Atom(name, args))
+    return goals
+
+
+def point_query(program, predicate, seed=None):
+    """A single bound/free point query ``predicate(c, z)`` — the
+    benchmark's same-generation "which z is in c's generation?" shape.
+
+    The bound constant is drawn from the EDB values that can actually
+    *reach the goal's first argument*: for every rule defining
+    *predicate*, the positions of extensional body literals carrying the
+    head's first-argument variable (falling back to position 0 of the
+    predicate's own facts when no rule binds it through the EDB), so the
+    goal always names a constant the rules can bind.  With the default
+    ``seed=None`` the lexicographically largest such constant is picked
+    (the deepest leaf of a :func:`same_generation_program` tree); an
+    integer *seed* picks a reproducible random one instead.
+    """
+    edb = program.edb_predicates()
+    slots = set()
+    for rule in program.rules:
+        if rule.head.predicate != predicate or not rule.head.args:
+            continue
+        binder = rule.head.args[0]
+        for literal in rule.body:
+            if not literal.positive:
+                continue
+            if (literal.atom.predicate, literal.atom.arity) not in edb:
+                continue
+            for position, arg in enumerate(literal.atom.args):
+                if arg == binder:
+                    slots.add((literal.atom.predicate, position))
+    if not slots:
+        slots = {(predicate, 0)}
+    by_predicate = {}
+    for name, position in slots:
+        by_predicate.setdefault(name, set()).add(position)
+    support = sorted(
+        {
+            fact.atom.args[position]
+            for fact in program.facts
+            for position in by_predicate.get(fact.atom.predicate, ())
+            if position < len(fact.atom.args)
+        },
+        key=lambda p: p.name,
+    )
+    if not support:
+        raise ValueError(
+            f"no EDB facts support predicate {predicate!r} — nothing to bind"
+        )
+    constant = support[-1] if seed is None else _rng(seed).choice(support)
+    return Atom(predicate, (constant, Variable("z")))
 
 
 def join_chain_program(relations=3, rows=200, distinct_values=40, seed=0):

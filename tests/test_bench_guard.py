@@ -1,10 +1,12 @@
 """Wire ``benchmarks/check_bench.py`` into the tier-1 verify flow.
 
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
-against; these tests fail when it goes stale (a strategy or the incremental
-mode is missing, model agreement was not verified, the incremental speedup
-slipped below its 10x target) or when indexed evaluation regresses more than
-2x against the committed ratio on a quick re-measurement.
+against; these tests fail when it goes stale (a strategy, the incremental
+mode or the magic-set query section is missing, model/answer agreement was
+not verified, the incremental speedup slipped below its 10x target or the
+magic point-query speedup below its 5x target) or when indexed evaluation
+or magic-set querying regresses more than 2x against the committed ratios
+on a quick re-measurement.
 """
 
 import importlib.util
@@ -50,7 +52,42 @@ def test_structure_check_catches_missing_strategy(report):
     assert any("indexed" in p for p in check_bench.structure_problems(stale))
 
 
+def test_structure_check_catches_missing_query_section(report):
+    stale = dict(report)
+    stale.pop("query", None)
+    assert any("query" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unverified_query_answers(report):
+    stale = dict(report)
+    stale["query"] = [{**row, "answers_match": False} for row in report["query"]]
+    assert any("answer agreement" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_query_speedup_below_target(report):
+    stale = dict(report)
+    stale["query"] = [
+        {
+            **row,
+            "patterns": {
+                pattern: (
+                    {**cell, "speedup_magic_vs_full": 1.2} if cell else None
+                )
+                for pattern, cell in row["patterns"].items()
+            },
+        }
+        for row in report["query"]
+    ]
+    assert any("5.0x target" in p for p in check_bench.structure_problems(stale))
+
+
 @pytest.mark.slow
 def test_indexed_speedup_has_not_regressed(report):
     problems = check_bench.regression_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.slow
+def test_magic_query_speedup_has_not_regressed(report):
+    problems = check_bench.query_regression_problems(report)
     assert not problems, "; ".join(problems)

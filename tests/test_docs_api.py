@@ -1,0 +1,28 @@
+"""Guard ``docs/api.md`` against staleness.
+
+The API index is generated from the live docstrings by ``docs/gen_api.py``
+and committed; this test regenerates it in memory and fails when the
+committed file disagrees — i.e. a public docstring or signature changed
+without re-running the generator.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location("gen_api", ROOT / "docs" / "gen_api.py")
+gen_api = importlib.util.module_from_spec(_SPEC)
+sys.modules["gen_api"] = gen_api
+_SPEC.loader.exec_module(gen_api)
+
+
+def test_api_index_is_fresh():
+    committed = (ROOT / "docs" / "api.md").read_text()
+    assert committed == gen_api.generate(), (
+        "docs/api.md is stale — re-run: PYTHONPATH=src python docs/gen_api.py"
+    )
+
+
+def test_api_index_has_no_undocumented_members():
+    assert "*(undocumented)*" not in gen_api.generate()

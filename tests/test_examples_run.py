@@ -54,6 +54,15 @@ def test_query_optimization_example(capsys):
     assert "speedup" in output
 
 
+def test_goal_directed_queries_example(capsys):
+    _load("goal_directed_queries").main()
+    output = capsys.readouterr().out
+    assert "magic and full answers agree: True" in output
+    assert "query speedup" in output
+    assert "fewer under magic" in output
+    assert "non-rewritable goal answered via mode='full' (fell back: True)" in output
+
+
 def test_incremental_updates_example(capsys):
     _load("incremental_updates").main()
     output = capsys.readouterr().out

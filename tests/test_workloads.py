@@ -14,6 +14,8 @@ from repro.workloads.employees import (
 from repro.workloads.generators import (
     chain_datalog_program,
     join_chain_program,
+    point_query,
+    query_workload,
     random_elementary_database,
     random_normal_query,
     random_relational_instance,
@@ -114,6 +116,54 @@ class TestGenerators:
         people = model.facts_for("person")
         # reflexive pairs are always same-generation
         assert all((p[0], p[0]) in model.facts_for("sg") for p in people)
+
+    def test_query_workload_respects_patterns(self):
+        from repro.logic.terms import Variable
+
+        program = same_generation_program(depth=3, branching=2, seed=1)
+        goals = query_workload(program, count=6, patterns=["bf", "ff"], seed=3)
+        assert len(goals) == 6
+        for goal, pattern in zip(goals, ["bf", "ff"] * 3):
+            observed = "".join(
+                "f" if isinstance(arg, Variable) else "b" for arg in goal.args
+            )
+            assert observed == pattern
+        assert all(goal.predicate == "sg" for goal in goals)
+
+    def test_query_workload_is_deterministic_per_seed(self):
+        program = same_generation_program(depth=3, branching=2, seed=1)
+        first = query_workload(program, count=8, bound_ratio=0.5, seed=7)
+        second = query_workload(program, count=8, bound_ratio=0.5, seed=7)
+        assert [str(g) for g in first] == [str(g) for g in second]
+
+    def test_point_query_draws_a_live_constant(self):
+        from repro.datalog.engine import DatalogEngine
+        from repro.logic.terms import Parameter, Variable
+
+        program = same_generation_program(depth=3, branching=2, seed=1)
+        goal = point_query(program, "sg")
+        assert isinstance(goal.args[0], Parameter)
+        assert isinstance(goal.args[1], Variable)
+        # the bound constant occurs in the program, so the goal has answers
+        assert DatalogEngine(program).query(goal, mode="magic")
+
+    def test_point_query_uses_the_goal_predicate_support(self):
+        from repro.datalog.engine import DatalogEngine
+
+        # join_chain: joined(x0, xk) :- r1(x0, x1), ..., rk(...).  The bound
+        # constant must come from r1's first column (layer 0), not from the
+        # lexicographically larger later layers — otherwise the goal could
+        # never have answers.
+        program = join_chain_program(relations=3, rows=30, distinct_values=6, seed=2)
+        goal = point_query(program, "joined")
+        assert goal.args[0].name.startswith("l0_")
+        assert DatalogEngine(program).query(goal, mode="magic")
+
+    def test_point_query_seed_picks_reproducibly(self):
+        program = same_generation_program(depth=3, branching=2, seed=1)
+        assert str(point_query(program, "sg", seed=4)) == str(
+            point_query(program, "sg", seed=4)
+        )
 
     def test_join_chain_program(self):
         from repro.datalog.engine import DatalogEngine
