@@ -32,7 +32,8 @@ docstrings by `docs/gen_api.py` (re-run it after changing a public
 docstring; `tests/test_docs_api.py` fails when this file goes stale).
 User guides: [datalog.md](datalog.md) for programs, evaluation and
 incremental maintenance, [queries.md](queries.md) for the goal-directed
-query layer, [architecture.md](architecture.md) for the module map.
+query layer, [parallel.md](parallel.md) for sharded parallel evaluation,
+[architecture.md](architecture.md) for the module map.
 """
 
 #: (module path, section title, [exported names])
@@ -43,9 +44,13 @@ SECTIONS = [
      ["DatalogEngine", "QueryResult", "EvaluationStatistics"]),
     ("repro.datalog.index", "Fact indexes — `repro.datalog.index`",
      ["FactIndex"]),
+    ("repro.datalog.shard", "Sharded storage — `repro.datalog.shard`",
+     ["ShardedFactIndex"]),
+    ("repro.datalog.parallel", "Parallel scheduling — `repro.datalog.parallel`",
+     ["ParallelScheduler", "ParallelStatistics", "default_workers"]),
     ("repro.datalog.magic", "Goal-directed rewriting — `repro.datalog.magic`",
-     ["rewrite", "answer", "adornment_of", "adorned_name", "magic_name",
-      "MagicProgram"]),
+     ["plan", "instantiate", "rewrite", "answer", "adornment_of",
+      "adorned_name", "magic_name", "MagicProgram", "MagicTemplate"]),
     ("repro.datalog.stats", "Join statistics — `repro.datalog.stats`",
      ["JoinStatistics", "ColumnStatistics"]),
     ("repro.datalog.incremental", "Incremental maintenance — `repro.datalog.incremental`",

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Sharded parallel evaluation: waves, shard fan-out, and determinism.
+
+Builds two workloads and evaluates each with ``strategy="parallel"``:
+
+* four mutually independent transitive closures — the dependency
+  condensation has four independent recursive components, so the scheduler
+  packs them into **one wave of width 4** and evaluates their fixpoints
+  concurrently;
+* one large transitive closure — a single recursive component, so the
+  concurrency comes from **shard fan-out** instead: every semi-naive
+  round's delta splits by shard and the per-shard join passes run on the
+  worker pool.
+
+The point of the demo is the determinism contract: whatever the shard
+count or worker count, the least model is *identical* to sequential
+indexed evaluation (the reductions are set unions, and sets don't care
+about arrival order).  ``engine.parallel_statistics`` shows what the
+scheduler actually did.
+
+Run with ``PYTHONPATH=src python examples/parallel_evaluation.py``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datalog import DatalogEngine, ShardedFactIndex
+from repro.workloads.generators import (
+    independent_components_program,
+    transitive_closure_program,
+)
+
+
+def main():
+    # -- wave-level concurrency: independent components ---------------------
+    build = lambda: independent_components_program(components=4, chains=20, length=5)
+    reference = DatalogEngine(build()).least_model()
+    engine = DatalogEngine(build(), strategy="parallel", shards=4, workers=2)
+    model = engine.least_model()
+    stats = engine.parallel_statistics
+    print(f"independent components: {len(build().facts)} facts, "
+          f"{len(model)} atoms in the least model")
+    print(f"  waves: {stats.waves}, widths {stats.wave_widths} "
+          f"(4 components evaluated concurrently), workers {stats.workers}")
+    print(f"  identical to indexed: {model == reference}")
+
+    # -- shard fan-out: one big recursive component -------------------------
+    build = lambda: transitive_closure_program(chains=50, length=5)
+    reference = DatalogEngine(build()).least_model()
+    engine = DatalogEngine(build(), strategy="parallel", shards=4, workers=2)
+    model = engine.least_model()
+    stats = engine.parallel_statistics
+    print(f"transitive closure: {len(build().facts)} facts, "
+          f"{len(model)} atoms in the least model")
+    print(f"  waves: {stats.waves} (one recursive component), "
+          f"shard tasks fanned out: {stats.shard_tasks}")
+    print(f"  identical to indexed: {model == reference}")
+
+    # -- the storage substrate: a sharded index -----------------------------
+    index = ShardedFactIndex(
+        (fact.atom for fact in build().facts), shards=4
+    )
+    print(f"sharded EDB: {len(index)} facts over {index.shard_count} shards, "
+          f"sizes {index.shard_sizes()}, skew {index.skew():.2f}")
+    repartitioned = index.repartition(shards=8)
+    print(f"repartitioned to {repartitioned.shard_count} shards: "
+          f"{len(repartitioned)} facts (set unchanged: "
+          f"{set(repartitioned) == set(index)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

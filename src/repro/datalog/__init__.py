@@ -24,6 +24,15 @@ This subpackage provides that substrate:
 * :mod:`repro.datalog.stats` — observed per-predicate bucket-size
   histograms (:class:`~repro.datalog.stats.JoinStatistics`) feeding the
   indexed strategy's join planner;
+* :mod:`repro.datalog.shard` — hash-partitioned fact storage
+  (:class:`~repro.datalog.shard.ShardedFactIndex`, keyed by stable hash of
+  ``(predicate, first argument)``) backing the parallel strategy and the
+  sharded materialized views;
+* :mod:`repro.datalog.parallel` — the concurrent stratum/rule scheduler
+  (:class:`~repro.datalog.parallel.ParallelScheduler`): independent
+  dependency components evaluate concurrently and delta-join passes fan out
+  across shards, with the least model provably identical to sequential
+  evaluation;
 * :mod:`repro.datalog.completion` — Clark's completion ``Comp(DB)`` as a set
   of FOPCE sentences (plus unique-names handled by the FOPCE semantics
   itself).
@@ -40,13 +49,16 @@ from repro.datalog.engine import (
 )
 from repro.datalog.index import FactIndex
 from repro.datalog.incremental import MaintenanceStatistics, MaterializedModel, UpdateResult
-from repro.datalog.magic import MagicProgram, adornment_of
+from repro.datalog.magic import MagicProgram, MagicTemplate, adornment_of
 from repro.datalog.magic import rewrite as magic_rewrite
+from repro.datalog.parallel import ParallelScheduler, ParallelStatistics
+from repro.datalog.shard import DEFAULT_SHARDS, ShardedFactIndex
 from repro.datalog.stats import ColumnStatistics, JoinStatistics
 from repro.datalog.completion import clark_completion
 
 __all__ = [
     "ColumnStatistics",
+    "DEFAULT_SHARDS",
     "DatalogEngine",
     "DatalogFact",
     "DatalogLiteral",
@@ -56,12 +68,16 @@ __all__ = [
     "FactIndex",
     "JoinStatistics",
     "MagicProgram",
+    "MagicTemplate",
     "MaintenanceStatistics",
     "MaterializedModel",
     "PLANNERS",
+    "ParallelScheduler",
+    "ParallelStatistics",
     "QUERY_MODES",
     "QueryResult",
     "STRATEGIES",
+    "ShardedFactIndex",
     "UpdateResult",
     "adornment_of",
     "clark_completion",

@@ -19,7 +19,15 @@ are provided, forming the ablation ladder the E9 benchmark measures:
   are reordered greedily by estimated selectivity (delta literal first, then
   whichever remaining literal has the most bound argument positions and the
   smallest surviving-fact estimate), and each join step probes the index
-  with the currently bound prefix instead of scanning the fact set.
+  with the currently bound prefix instead of scanning the fact set;
+* **parallel** — the indexed strategy over a hash-partitioned
+  :class:`~repro.datalog.shard.ShardedFactIndex`, scheduled by
+  :class:`~repro.datalog.parallel.ParallelScheduler`: independent
+  components of the dependency condensation evaluate concurrently, and a
+  recursive component's delta-join passes fan out across shards on a worker
+  pool, with a deterministic reduction so the least model is identical to
+  every sequential strategy (``shards=`` / ``workers=`` tune the layout;
+  ``engine.parallel_statistics`` reports waves/widths/shard tasks).
 
 In every strategy, negated body literals are deferred until the join prefix
 has bound all of their variables, so range-restricted rules evaluate
@@ -50,6 +58,10 @@ this cache via :meth:`DatalogEngine.install_model`.
 maintained), a single goal is answered by magic-set rewriting
 (:mod:`repro.datalog.magic`) — the fixpoint then only derives the
 goal-relevant subprogram, O(relevant facts) instead of O(least model).
+Magic work is cached per program content: the rewrite template per
+``(predicate, adornment)`` and the evaluated goal-relevant model per
+``(predicate, adornment, bound constants)``, so repeated point queries
+share their sub-goal work (``result.cached`` says a cache answered).
 The join planner of the indexed strategy is fed by observed bucket-size
 histograms (:mod:`repro.datalog.stats`) rather than the uniform-distribution
 estimate, refreshed every fixpoint round.
@@ -65,9 +77,13 @@ from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter, Variable
 from repro.semantics.worlds import World
 
-STRATEGIES = ("naive", "semi-naive", "indexed")
+STRATEGIES = ("naive", "semi-naive", "indexed", "parallel")
 PLANNERS = ("histogram", "uniform")
 QUERY_MODES = ("auto", "magic", "full")
+
+#: how many evaluated goal-relevant models ``query()`` keeps per engine
+#: (templates are unbounded — one per reachable adornment, a small set).
+MAGIC_MODEL_CACHE_SIZE = 32
 
 
 @dataclass
@@ -107,12 +123,14 @@ class QueryResult(list):
       performed *for this query* (all zero when a cached or maintained
       model answered it);
     * ``fallback_reason`` — why an ``"auto"`` query fell back from magic to
-      full evaluation (``None`` when it did not).
+      full evaluation (``None`` when it did not);
+    * ``cached`` — True when a ``"magic"`` answer was served from the
+      engine's per-program magic cache (no fixpoint ran for this query).
     """
 
     def __init__(self, bindings=(), *, goal=None, mode="full", adornment=None,
                  facts_touched=0, join_passes=0, iterations=0,
-                 facts_derived=0, fallback_reason=None):
+                 facts_derived=0, fallback_reason=None, cached=False):
         super().__init__(bindings)
         self.goal = goal
         self.mode = mode
@@ -122,6 +140,7 @@ class QueryResult(list):
         self.iterations = iterations
         self.facts_derived = facts_derived
         self.fallback_reason = fallback_reason
+        self.cached = cached
 
     @property
     def bindings(self):
@@ -146,19 +165,48 @@ class DatalogEngine:
     bucket-size histograms, see :mod:`repro.datalog.stats`) or
     ``"uniform"`` (the distinct-value-count estimate of
     :meth:`~repro.datalog.index.FactIndex.selectivity`, kept as an
-    ablation baseline).
+    ablation baseline).  With ``strategy="parallel"``, ``shards`` sets the
+    partition width of the backing
+    :class:`~repro.datalog.shard.ShardedFactIndex` (default
+    :data:`~repro.datalog.shard.DEFAULT_SHARDS`) and ``workers`` the thread
+    pool size (default: one per shard, capped by the CPU count); both are
+    rejected under the sequential strategies.
     """
 
-    def __init__(self, program, strategy="indexed", planner="histogram"):
+    def __init__(self, program, strategy="indexed", planner="histogram",
+                 shards=None, workers=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
         if planner not in PLANNERS:
             raise ValueError(f"planner must be one of {', '.join(PLANNERS)}")
+        if strategy == "parallel":
+            from repro.datalog.shard import DEFAULT_SHARDS
+
+            shards = DEFAULT_SHARDS if shards is None else int(shards)
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if workers is not None:
+                workers = int(workers)
+                if workers < 1:
+                    raise ValueError(f"workers must be >= 1, got {workers}")
+        elif shards is not None or workers is not None:
+            raise ValueError("shards/workers are only meaningful with strategy='parallel'")
         self.program = program
         self.strategy = strategy
         self.planner = planner
+        self.shards = shards
+        self.workers = workers
         self.statistics = EvaluationStatistics()
         self.planner_statistics = JoinStatistics()
+        # Filled per parallel evaluation by ParallelScheduler (waves, wave
+        # widths, shard fan-out tasks); None under the sequential strategies.
+        self.parallel_statistics = None
+        # query()'s magic cache: rewrite templates per (predicate, arity,
+        # adornment) and evaluated goal-relevant models per (..., bound
+        # constants), both valid for exactly one program content key.
+        self._magic_templates = {}
+        self._magic_models = {}
+        self._magic_key = None
         self._strata = self._stratify()
         self._strata_key = self._program_key()
         self._model = None
@@ -193,7 +241,9 @@ class DatalogEngine:
             self._strata_key = key
         self.statistics = EvaluationStatistics()
         self.planner_statistics = JoinStatistics()
-        if self.strategy == "indexed":
+        if self.strategy == "parallel":
+            model = self._evaluate_parallel()
+        elif self.strategy == "indexed":
             model = self._evaluate_indexed()
         else:
             model = self._evaluate_scanning()
@@ -253,22 +303,11 @@ class DatalogEngine:
                 )
             if not extensional and (mode == "magic" or not (cached or maintained)):
                 try:
-                    answers, _, inner = magic.answer(
-                        self.program, atom,
-                        strategy=self.strategy, planner=self.planner,
-                    )
+                    return self._magic_query(atom, adornment)
                 except MagicRewriteError as error:
                     if mode == "magic":
                         raise
                     fallback_reason = str(error)
-                else:
-                    return QueryResult(
-                        answers, goal=atom, mode="magic", adornment=adornment,
-                        facts_touched=len(inner.least_model()),
-                        join_passes=inner.statistics.rule_applications,
-                        iterations=inner.statistics.iterations,
-                        facts_derived=inner.statistics.facts_derived,
-                    )
         statistics_before = self.statistics
         model = self.least_model()
         evaluated = self.statistics is not statistics_before
@@ -280,6 +319,73 @@ class DatalogEngine:
             iterations=self.statistics.iterations if evaluated else 0,
             facts_derived=self.statistics.facts_derived if evaluated else 0,
             fallback_reason=fallback_reason,
+        )
+
+    def _magic_query(self, atom, adornment):
+        """Answer an intensional goal by magic sets, through the engine's
+        two-level magic cache.
+
+        Both levels key on the program's content (any fact or rule change
+        clears them):
+
+        * **templates** — the adornment/SIP/magic rule set of
+          :func:`repro.datalog.magic.plan` per ``(predicate, arity,
+          adornment)``; a repeated binding *shape* (same query, different
+          constants) skips the rewrite;
+        * **models** — the goal-relevant *answer atoms* (the adorned answer
+          predicate's slice of the evaluated model; the rest of the inner
+          model is never read on a hit and is not retained) per
+          ``(predicate, arity, adornment, bound constants)``; a repeated
+          point query skips the fixpoint entirely and re-matches the goal
+          (``result.cached`` is True, the evaluation counters are zero).
+          At most :data:`MAGIC_MODEL_CACHE_SIZE` entries are kept (oldest
+          evicted first).
+
+        Raises :class:`~repro.exceptions.MagicRewriteError` exactly when the
+        rewrite does; nothing is cached for unrewritable goals.
+        """
+        from repro.datalog import magic
+
+        key = self._program_key()
+        if self._magic_key != key:
+            self._magic_templates.clear()
+            self._magic_models.clear()
+            self._magic_key = key
+        arity = len(atom.args)
+        seed_args = tuple(arg for arg in atom.args if not isinstance(arg, Variable))
+        model_key = (atom.predicate, arity, adornment, seed_args)
+        answer_atoms = self._magic_models.get(model_key)
+        if answer_atoms is not None:
+            bindings, touched = _match_goal(atom, answer_atoms)
+            return QueryResult(
+                bindings, goal=atom, mode="magic", adornment=adornment,
+                facts_touched=touched, cached=True,
+            )
+        template_key = (atom.predicate, arity, adornment)
+        template = self._magic_templates.get(template_key)
+        if template is None:
+            template = magic.plan(self.program, atom)
+            self._magic_templates[template_key] = template
+        magic_program = magic.instantiate(template, self.program, atom)
+        # shards/workers are None under the sequential strategies, which the
+        # constructor accepts as "not set".
+        inner = DatalogEngine(
+            magic_program.program, strategy=self.strategy, planner=self.planner,
+            shards=self.shards, workers=self.workers,
+        )
+        model = inner.least_model()
+        answers = magic_program.answers(model)
+        while len(self._magic_models) >= MAGIC_MODEL_CACHE_SIZE:
+            self._magic_models.pop(next(iter(self._magic_models)))
+        self._magic_models[model_key] = tuple(
+            model.atoms_for(magic_program.answer_predicate)
+        )
+        return QueryResult(
+            answers, goal=atom, mode="magic", adornment=adornment,
+            facts_touched=len(model),
+            join_passes=inner.statistics.rule_applications,
+            iterations=inner.statistics.iterations,
+            facts_derived=inner.statistics.facts_derived,
         )
 
     def holds(self, atom):
@@ -303,6 +409,12 @@ class DatalogEngine:
         if self._strata_key != key:
             self._strata = self._stratify()
             self._strata_key = key
+        if self._magic_key != key:
+            # The magic caches answer for a different program content —
+            # drop them now rather than trusting the next query's check.
+            self._magic_templates.clear()
+            self._magic_models.clear()
+            self._magic_key = None
         self._model = model
         self._model_key = key
         return model
@@ -339,6 +451,24 @@ class DatalogEngine:
                 self._indexed_fixpoint(rules, index)
         return World(index)
 
+    def _evaluate_parallel(self):
+        """Evaluate over a :class:`~repro.datalog.shard.ShardedFactIndex`
+        with :class:`~repro.datalog.parallel.ParallelScheduler`: independent
+        dependency components run concurrently and delta passes fan out
+        across shards; the resulting model is identical to the sequential
+        strategies (set-union reductions are order-independent)."""
+        from repro.datalog.parallel import ParallelScheduler
+        from repro.datalog.shard import ShardedFactIndex
+
+        index = ShardedFactIndex(
+            (fact.atom for fact in self.program.facts), shards=self.shards
+        )
+        scheduler = ParallelScheduler(self)
+        self.parallel_statistics = scheduler.statistics
+        scheduler.evaluate(index)
+        self.statistics.strata = len(self._strata)
+        return World.from_fact_index(index)
+
     def _planner_stats(self, index):
         """Refresh and return the histogram statistics for *index*, or
         ``None`` under the uniform planner (the scheduler then falls back
@@ -348,19 +478,24 @@ class DatalogEngine:
         return self.planner_statistics.refresh(index)
 
     # -- stratification -----------------------------------------------------
-    def _stratify(self):
-        """Split the intensional predicates into strata; extensional
-        predicates live in stratum 0 implicitly.
+    def _condensation(self):
+        """The predicate dependency condensation: Tarjan components of the
+        IDB dependency graph (emitted dependencies-first) plus the positive
+        and negative edge maps they were built from, as ``(components,
+        component_of, positive_edges, negative_edges)``.
 
-        The check is exact: the program is unstratifiable precisely when a
-        negative dependency edge lies inside a strongly connected component
-        of the predicate dependency graph.
+        This is the shared substrate of :meth:`_stratify` (which levels the
+        components into strata) and of the parallel scheduler's wave
+        grouping (:meth:`ParallelScheduler.waves
+        <repro.datalog.parallel.ParallelScheduler.waves>`).  The
+        stratifiability check happens here and is exact: the program is
+        rejected precisely when a negative edge lies inside a component.
         """
         idb = self.program.idb_predicates()
-        if not idb:
-            return [set()]
         positive_edges = defaultdict(set)
         negative_edges = defaultdict(set)
+        if not idb:
+            return [], {}, positive_edges, negative_edges
         for rule in self.program.rules:
             head_key = (rule.head.predicate, rule.head.arity)
             for literal in rule.body:
@@ -381,6 +516,18 @@ class DatalogEngine:
                         f"{head[0]}/{head[1]} depends negatively on "
                         f"{dependency[0]}/{dependency[1]} inside a recursive component"
                     )
+        return components, component_of, positive_edges, negative_edges
+
+    def _stratify(self):
+        """Split the intensional predicates into strata; extensional
+        predicates live in stratum 0 implicitly.
+
+        Built on :meth:`_condensation`, which performs the exact
+        stratifiability check.
+        """
+        components, component_of, positive_edges, negative_edges = self._condensation()
+        if not components:
+            return [set()]
         # Components are emitted dependencies-first, so one pass suffices.
         component_stratum = [0] * len(components)
         for position, component in enumerate(components):

@@ -41,12 +41,24 @@ installs the maintained model into the engine's cache so a subsequent
 ``engine.least_model()`` is O(1).  :meth:`MaterializedModel.peek` answers
 "what would the model be if this batch were applied?" without leaving any
 trace — the safe way for transaction previews to look at pending state.
+
+The maintenance joins are planned like the engine's: under the default
+``planner="histogram"`` the per-batch passes (and the initial counting
+fixpoint) order their body literals greedily by observed bucket-size
+histograms (:class:`~repro.datalog.stats.JoinStatistics`, re-snapshotted
+per apply / per build round) instead of textual order; ``"uniform"`` keeps
+the unplanned ordering as an ablation baseline.  When the wrapped engine
+uses ``strategy="parallel"``, the materialized state lives in a
+:class:`~repro.datalog.shard.ShardedFactIndex` with the engine's shard
+count, so counting updates, DRed overdeletion (``retract_all``) and
+rederivation all apply shard-locally.
 """
 
 from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.datalog.engine import (
+    PLANNERS,
     DatalogEngine,
     _head_atom,
     _ground_negative,
@@ -55,6 +67,7 @@ from repro.datalog.engine import (
 )
 from repro.datalog.index import FactIndex
 from repro.datalog.program import DatalogFact
+from repro.datalog.stats import JoinStatistics
 from repro.exceptions import ReproError
 from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter
@@ -138,13 +151,31 @@ class MaterializedModel:
     mutated behind our back, the next access notices (content comparison, the
     same discipline the engine's cache uses) and falls back to a full
     rebuild.
+
+    ``strategy`` (plus ``shards`` when it is ``"parallel"``) configures the
+    wrapped engine when one has to be built; with a parallel engine the
+    materialized index is sharded (see the module docstring).  ``planner``
+    selects the maintenance join planning — ``"histogram"`` (observed
+    bucket-size histograms) or ``"uniform"`` (unplanned textual order);
+    default: the wrapped engine's planner.
     """
 
-    def __init__(self, program_or_engine, strategy="indexed"):
+    def __init__(self, program_or_engine, strategy="indexed", shards=None, planner=None):
         if isinstance(program_or_engine, DatalogEngine):
+            if shards is not None:
+                raise ValueError("pass shards via the engine when wrapping one")
             self.engine = program_or_engine
+        elif strategy == "parallel":
+            self.engine = DatalogEngine(program_or_engine, strategy=strategy, shards=shards)
         else:
+            if shards is not None:
+                raise ValueError("shards are only meaningful with strategy='parallel'")
             self.engine = DatalogEngine(program_or_engine, strategy=strategy)
+        self.planner = self.engine.planner if planner is None else planner
+        if self.planner not in PLANNERS:
+            raise ValueError(f"planner must be one of {', '.join(PLANNERS)}")
+        self.planner_statistics = JoinStatistics()
+        self._maintenance_stats = None
         self.program = self.engine.program
         self.statistics = MaintenanceStatistics()
         self._index = None
@@ -310,8 +341,9 @@ class MaterializedModel:
         self.statistics.rebuilds += 1
         self._analyze()
         self._schedules = {}
+        self._maintenance_stats = None
         self._edb = {fact.atom for fact in self.program.facts}
-        self._index = FactIndex(self._edb)
+        self._index = self._new_index(self._edb)
         self._counts = defaultdict(int)
         for atom in self._edb:
             if self._kind.get((atom.predicate, len(atom.args))) == "counting":
@@ -335,6 +367,29 @@ class MaterializedModel:
             f"{len(self._components)} components, "
             f"{self.statistics.applies} applies)"
         )
+
+    def _new_index(self, atoms=()):
+        """A fresh materialized index: sharded with the engine's shard count
+        when the wrapped engine evaluates in parallel, a plain
+        :class:`~repro.datalog.index.FactIndex` otherwise."""
+        if self.engine.strategy == "parallel":
+            from repro.datalog.shard import ShardedFactIndex
+
+            return ShardedFactIndex(atoms, shards=self.engine.shards)
+        return FactIndex(atoms)
+
+    def _refresh_planner_stats(self):
+        """Re-snapshot the maintenance planner's histograms from the live
+        index; the snapshot also invalidates the cached maintenance
+        schedules, which were ordered against the previous snapshot.  Under
+        the uniform planner there is no snapshot and schedules never change
+        shape, so both are left alone (a no-op returning ``None``)."""
+        if self.planner != "histogram":
+            self._maintenance_stats = None
+        else:
+            self._schedules = {}
+            self._maintenance_stats = self.planner_statistics.refresh(self._index)
+        return self._maintenance_stats
 
     # -- program analysis ------------------------------------------------------
     def _analyze(self):
@@ -387,10 +442,17 @@ class MaterializedModel:
         delta = None
         first_round = True
         while True:
+            # Feed the observed bucket shapes of the growing index into the
+            # build joins, exactly as the engine's own fixpoint does.
+            stats = (
+                self.planner_statistics.refresh(self._index)
+                if self.planner == "histogram"
+                else None
+            )
             new_facts = set()
             for rule in component.rules:
                 if first_round:
-                    schedule = engine._schedule(rule, index=self._index)
+                    schedule = engine._schedule(rule, index=self._index, stats=stats)
                     for derived in engine._indexed_join(
                         rule, schedule, self._index, None, {}, 0
                     ):
@@ -405,7 +467,7 @@ class MaterializedModel:
                     if not delta.count(literal.atom.predicate, len(literal.atom.args)):
                         continue
                     schedule = engine._schedule(
-                        rule, delta_position=position, index=self._index
+                        rule, delta_position=position, index=self._index, stats=stats
                     )
                     for derived in engine._indexed_join(
                         rule, schedule, self._index, delta, {}, 0
@@ -429,6 +491,10 @@ class MaterializedModel:
         delta and contributes its own net changes for the components above.
         Returns the net (added, removed) over the whole model.
         """
+        # One histogram snapshot per batch: the maintenance passes of every
+        # component order their joins against the pre-batch bucket shapes
+        # (deltas are tiny next to the index, so mid-batch drift is noise).
+        self._refresh_planner_stats()
         acc_plus = FactIndex()
         acc_minus = FactIndex()
         idb = self._kind
@@ -667,15 +733,22 @@ class MaterializedModel:
         literal whose support changed — evaluated first, enumerating the
         delta), ``"before"`` (textually before the delta position: support
         must be *unchanged*, which is what makes each changed derivation
-        count exactly once) or ``"after"`` (unrestricted).  Positive literals
-        keep their textual order; negative non-delta literals are deferred
-        until the prefix binds their variables, exactly as in the engine's
-        scheduler.  Schedules are cached per ``(rule, delta_position)`` —
-        they only depend on the rule shape, not on the delta contents.
+        count exactly once) or ``"after"`` (unrestricted).  Under the
+        histogram planner the positive non-delta literals are greedily
+        reordered by estimated selectivity against the current
+        :class:`~repro.datalog.stats.JoinStatistics` snapshot (roles stay
+        attached to their *textual* positions, so the enumerated derivation
+        set is unchanged — only the join order); under the uniform planner
+        they keep their textual order.  Negative non-delta literals are
+        deferred until the prefix binds their variables, exactly as in the
+        engine's scheduler.  Schedules are cached per
+        ``(rule, delta_position)`` and invalidated with every histogram
+        re-snapshot.
         """
         cached = self._schedules.get((rule, delta_position))
         if cached is not None:
             return cached
+        stats = self._maintenance_stats
 
         def role_for(position):
             if delta_position is None or position == delta_position:
@@ -703,7 +776,24 @@ class MaterializedModel:
                     pending_negative.remove(entry)
 
         emit_ready_negatives()
-        for position, literal in positives:
+        while positives:
+            choice = 0
+            if stats is not None:
+                best_score = None
+                for slot, (_, literal) in enumerate(positives):
+                    atom = literal.atom
+                    bound_positions = [
+                        p
+                        for p, arg in enumerate(atom.args)
+                        if isinstance(arg, Parameter) or arg in bound
+                    ]
+                    estimate = stats.selectivity(
+                        atom.predicate, len(atom.args), bound_positions
+                    )
+                    score = (0 if bound_positions else 1, estimate)
+                    if best_score is None or score < best_score:
+                        best_score, choice = score, slot
+            position, literal = positives.pop(choice)
             schedule.append((literal, role_for(position)))
             bound |= literal.variables()
             emit_ready_negatives()

@@ -54,6 +54,15 @@ The module is deliberately engine-agnostic: :func:`rewrite` maps a
 the goal against the adorned answer predicate.  Generated predicate names
 use ``#`` as a separator (``sg#bf``, ``magic#sg#bf``, ``sup#3#1#sg#bf``),
 which cannot collide with parser-produced predicates.
+
+The rewrite factors into two halves so that repeated queries can share
+work (this is what backs the engine's per-program magic cache):
+:func:`plan` derives the *constant-independent* half — the adorned /
+supplementary / magic rule set for one ``(predicate, adornment)`` pair,
+already validated for stratifiability — as a reusable
+:class:`MagicTemplate`, and :func:`instantiate` assembles a concrete
+:class:`MagicProgram` from a template, the current EDB and one goal's
+bound constants.  ``rewrite`` is exactly ``instantiate(plan(...), ...)``.
 """
 
 from dataclasses import dataclass, field
@@ -165,18 +174,39 @@ def _sup_terms(available, needed):
     return tuple(sorted(available & needed, key=lambda v: v.name))
 
 
-def rewrite(program, goal):
-    """Rewrite *program* for goal-directed evaluation of *goal*.
+@dataclass(frozen=True)
+class MagicTemplate:
+    """The constant-independent half of a magic-set rewrite: the adorned /
+    supplementary / magic rule set for one ``(predicate, arity,
+    adornment)`` triple, already validated for stratifiability.
 
-    Returns a :class:`MagicProgram`; raises
-    :class:`~repro.exceptions.MagicRewriteError` when the goal predicate is
-    extensional (nothing to specialise — probe the facts directly) or when
-    the rewritten program is no longer stratifiable (negation entangled
-    with binding passing; fall back to full evaluation).
+    A template depends only on the program's *rules* and on which
+    predicates carry EDB facts — not on the facts themselves or on the
+    goal's bound constants — so it can be cached and re-instantiated
+    (:func:`instantiate`) for every goal sharing the binding pattern.
+    ``adornments`` lists every ``(predicate, adornment)`` pair the rewrite
+    reached; its length is the size of the goal-relevant subprogram.
+    """
 
-    The rewrite is validated eagerly: the returned program has already
-    passed the engine's exact stratification check, so feeding it to a
-    :class:`~repro.datalog.engine.DatalogEngine` cannot fail later.
+    predicate: str
+    arity: int
+    adornment: str
+    rules: tuple
+    answer_predicate: str
+    magic_predicate: str
+    adornments: tuple = field(default=())
+
+
+def plan(program, goal):
+    """Derive the :class:`MagicTemplate` for *goal*'s binding pattern.
+
+    Raises :class:`~repro.exceptions.MagicRewriteError` when the goal
+    predicate is extensional (nothing to specialise — probe the facts
+    directly) or when the rewritten rule set is no longer stratifiable
+    (negation entangled with binding passing; fall back to full
+    evaluation).  Validation is eager and needs only the rules —
+    stratification never looks at facts — so a cached template can be
+    instantiated against any EDB state of the program.
     """
     idb = program.idb_predicates()
     goal_key = (goal.predicate, len(goal.args))
@@ -187,14 +217,7 @@ def rewrite(program, goal):
         )
 
     adornment = adornment_of(goal)
-    rewritten = DatalogProgram()
-    for fact in program.facts:
-        rewritten.add_fact(fact)
-    seed = Atom(
-        magic_name(goal.predicate, adornment),
-        tuple(arg for arg in goal.args if not isinstance(arg, Variable)),
-    )
-    rewritten.add_fact(seed)
+    collected = DatalogProgram()
 
     rules_for = {}
     facts_for = set()
@@ -222,7 +245,7 @@ def rewrite(program, goal):
             bound_vars = tuple(
                 v for v, flag in zip(variables, pattern) if flag == "b"
             )
-            rewritten.add_rule(
+            collected.add_rule(
                 DatalogRule(
                     Atom(answer, variables),
                     (
@@ -234,29 +257,83 @@ def rewrite(program, goal):
 
         for rule_index, rule in rules_for.get((predicate, arity), ()):
             _rewrite_rule(
-                rewritten, rule, rule_index, pattern, idb, worklist
+                collected, rule, rule_index, pattern, idb, worklist
             )
 
     try:
-        # Validate stratifiability with the engine's exact check; import
+        # Validate stratifiability with the engine's exact check (it only
+        # reads the rules, so the facts need not be assembled yet); import
         # here to keep module loading cycle-free.
         from repro.datalog.engine import DatalogEngine
 
-        DatalogEngine(rewritten)
+        DatalogEngine(collected)
     except StratificationError as error:
         raise MagicRewriteError(
             f"magic-set rewrite of goal {goal} is not stratifiable "
             f"(binding passing crosses a negation): {error}"
         ) from error
 
+    return MagicTemplate(
+        predicate=goal.predicate,
+        arity=len(goal.args),
+        adornment=adornment,
+        rules=tuple(collected.rules),
+        answer_predicate=adorned_name(goal.predicate, adornment),
+        magic_predicate=magic_name(goal.predicate, adornment),
+        adornments=tuple(sorted((p, a) for p, _, a in seen)),
+    )
+
+
+def instantiate(template, program, goal):
+    """Assemble a concrete :class:`MagicProgram` from a cached *template*,
+    the current EDB facts of *program* and one *goal*'s bound constants
+    (which become the magic seed fact).  The goal must match the template's
+    predicate, arity and binding pattern."""
+    adornment = adornment_of(goal)
+    if (goal.predicate, len(goal.args), adornment) != (
+        template.predicate, template.arity, template.adornment
+    ):
+        raise MagicRewriteError(
+            f"goal {goal} (adornment {adornment!r}) does not match template "
+            f"{template.predicate}/{template.arity}#{template.adornment}"
+        )
+    rewritten = DatalogProgram()
+    for fact in program.facts:
+        rewritten.add_fact(fact)
+    seed = Atom(
+        template.magic_predicate,
+        tuple(arg for arg in goal.args if not isinstance(arg, Variable)),
+    )
+    rewritten.add_fact(seed)
+    for rule in template.rules:
+        rewritten.add_rule(rule)
     return MagicProgram(
         program=rewritten,
         goal=goal,
-        answer_predicate=adorned_name(goal.predicate, adornment),
+        answer_predicate=template.answer_predicate,
         adornment=adornment,
         seed=seed,
-        adornments=tuple(sorted((p, a) for p, _, a in seen)),
+        adornments=template.adornments,
     )
+
+
+def rewrite(program, goal):
+    """Rewrite *program* for goal-directed evaluation of *goal*.
+
+    Returns a :class:`MagicProgram`; raises
+    :class:`~repro.exceptions.MagicRewriteError` when the goal predicate is
+    extensional (nothing to specialise — probe the facts directly) or when
+    the rewritten program is no longer stratifiable (negation entangled
+    with binding passing; fall back to full evaluation).
+
+    The rewrite is validated eagerly: the returned program has already
+    passed the engine's exact stratification check, so feeding it to a
+    :class:`~repro.datalog.engine.DatalogEngine` cannot fail later.
+    (Equivalent to ``instantiate(plan(program, goal), program, goal)`` —
+    callers answering many goals should cache the :func:`plan` half, as
+    ``DatalogEngine.query`` does.)
+    """
+    return instantiate(plan(program, goal), program, goal)
 
 
 def _rewrite_rule(rewritten, rule, rule_index, pattern, idb, worklist):
@@ -329,11 +406,13 @@ def _rewrite_rule(rewritten, rule, rule_index, pattern, idb, worklist):
     )
 
 
-def answer(program, goal, strategy="indexed", planner="histogram"):
+def answer(program, goal, strategy="indexed", planner="histogram",
+           shards=None, workers=None):
     """Answer *goal* against *program* by magic-set rewriting: rewrite,
     evaluate the rewritten program with a fresh
     :class:`~repro.datalog.engine.DatalogEngine` of the given *strategy*
-    and *planner*, and extract the goal's bindings.
+    and *planner* (plus *shards* / *workers* when the strategy is
+    ``"parallel"``), and extract the goal's bindings.
 
     Returns ``(bindings, magic_program, engine)`` — the engine is the inner
     one that evaluated the rewrite; its ``statistics`` describe the
@@ -344,6 +423,9 @@ def answer(program, goal, strategy="indexed", planner="histogram"):
     from repro.datalog.engine import DatalogEngine
 
     magic_program = rewrite(program, goal)
-    engine = DatalogEngine(magic_program.program, strategy=strategy, planner=planner)
+    engine = DatalogEngine(
+        magic_program.program, strategy=strategy, planner=planner,
+        shards=shards, workers=workers,
+    )
     model = engine.least_model()
     return magic_program.answers(model), magic_program, engine

@@ -1,0 +1,378 @@
+"""Concurrent stratum/rule scheduling: the engine's ``parallel`` strategy.
+
+Sequential evaluation runs the strata of a program strictly in order and the
+rules of a stratum in program order.  Both sequencings are stricter than the
+semantics requires; this module relaxes exactly the two over-sequencings the
+ROADMAP names, while keeping the computed least model **identical** to the
+sequential strategies (the hypothesis properties in
+``tests/test_datalog_parallel.py`` and the model-agreement checks of
+``benchmarks/run_bench.py`` enforce this):
+
+* **Independent components run concurrently.**  The predicate dependency
+  condensation (the same Tarjan SCC pass
+  :meth:`~repro.datalog.engine.DatalogEngine._stratify` is built on) is
+  levelled by longest path over *all* edges, positive and negative, into
+  **waves**: no component depends on another in its own wave, so each wave's
+  components evaluate their fixpoints concurrently.  A concurrently
+  evaluated component writes its derivations into a private overlay
+  (:class:`_StackedIndex`) over the shared, wave-stable base index; at the
+  wave barrier the overlays merge into the base in component order.
+  Overlays hold disjoint predicates (each component derives only its own
+  heads), so the merged set — and therefore the model — does not depend on
+  scheduling.
+
+* **Within a component, delta passes fan out across shards.**  The fixpoint
+  of a wave that holds a single component (the common case for the big
+  recursive workloads) runs its semi-naive rounds against the shared
+  :class:`~repro.datalog.shard.ShardedFactIndex` directly and splits every
+  delta-position join pass by delta shard: each worker enumerates one
+  shard's slice of the delta (full-index membership semantics are preserved
+  by :class:`_DeltaShard`), derives into a private set, and the per-task
+  sets merge by set union — a deterministic reduction, since the least
+  model is a set and union is commutative.
+
+Workers are OS threads (a shared :class:`~concurrent.futures.ThreadPoolExecutor`);
+per-round work is read-only against the round-stable base index and delta,
+with all mutation (``absorb``, statistics) confined to the coordinating
+thread at the round/wave barriers.  With ``workers=1`` (the default on a
+single-core host) every task runs inline on the coordinator — the
+decomposition is identical, only the concurrency is gone, which is what
+keeps the strategy's single-core overhead to the sharding indirection
+alone.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from itertools import chain
+import os
+
+from repro.datalog.index import FactIndex
+from repro.datalog.shard import ShardedFactIndex
+from repro.datalog.stats import JoinStatistics
+
+
+@dataclass
+class ParallelStatistics:
+    """Counters describing one parallel evaluation.
+
+    ``waves`` is the number of concurrency barriers (levels of the
+    dependency condensation), ``wave_widths`` the component count per wave
+    (its maximum is how much stratum-level concurrency the program exposed),
+    ``concurrent_components`` the number of component fixpoints evaluated in
+    waves of width > 1, ``shard_tasks`` the number of per-shard delta-join
+    tasks fanned out, and ``workers`` the size of the worker pool used.
+    """
+
+    waves: int = 0
+    wave_widths: list = field(default_factory=list)
+    concurrent_components: int = 0
+    shard_tasks: int = 0
+    workers: int = 1
+
+    @property
+    def max_wave_width(self):
+        """The widest wave — the peak component-level concurrency."""
+        return max(self.wave_widths, default=0)
+
+
+class _DeltaShard:
+    """One shard's slice of a semi-naive delta, with whole-delta membership.
+
+    The delta-position literal of a fanned-out join pass enumerates only
+    this shard's facts (``candidates``), while the non-duplicating ``old``
+    source discipline — "is this fact part of the round's delta?" — keeps
+    consulting the full delta (``__contains__``), so the per-shard passes
+    partition exactly the derivations the sequential pass enumerates.
+    """
+
+    __slots__ = ("_full", "_shard")
+
+    def __init__(self, full, shard):
+        self._full = full
+        self._shard = shard
+
+    def candidates(self, predicate, arity, bound):
+        return self._shard.candidates(predicate, arity, bound)
+
+    def __contains__(self, atom):
+        return atom in self._full
+
+
+class _StackedIndex:
+    """A read view of ``base`` plus a private ``overlay``, for component
+    fixpoints that run concurrently with other components of their wave.
+
+    The base (everything computed in earlier waves, plus the EDB) is
+    round-stable and shared; all writes go to the overlay, which holds only
+    the component's own derivations.  Implements the full read surface the
+    engine's join machinery and the planner statistics need.
+    """
+
+    __slots__ = ("base", "overlay")
+
+    def __init__(self, base, overlay):
+        self.base = base
+        self.overlay = overlay
+
+    def candidates(self, predicate, arity, bound):
+        bound = list(bound)
+        return chain(
+            self.base.candidates(predicate, arity, bound),
+            self.overlay.candidates(predicate, arity, bound),
+        )
+
+    def __contains__(self, atom):
+        return atom in self.overlay or atom in self.base
+
+    def count(self, predicate, arity):
+        return self.base.count(predicate, arity) + self.overlay.count(predicate, arity)
+
+    def relations(self):
+        return self.base.relations() | self.overlay.relations()
+
+    def histogram(self, predicate, arity, position):
+        merged = dict(self.base.histogram(predicate, arity, position))
+        for value, size in self.overlay.histogram(predicate, arity, position).items():
+            merged[value] = merged.get(value, 0) + size
+        return merged
+
+    def selectivity(self, predicate, arity, positions):
+        # A union estimate: the sum of the per-part uniform estimates (the
+        # parts are disjoint fact sets, so summing never undercounts).
+        return self.base.selectivity(predicate, arity, positions) + self.overlay.selectivity(
+            predicate, arity, positions
+        )
+
+    def absorb(self, delta):
+        self.overlay.absorb(delta)
+        return self
+
+
+class _Component:
+    """One schedulable unit: a strongly connected component of the IDB
+    dependency graph and the rules whose heads it owns."""
+
+    __slots__ = ("predicates", "rules")
+
+    def __init__(self, predicates, rules):
+        self.predicates = predicates
+        self.rules = rules
+
+
+def default_workers(shards):
+    """The worker-pool size used when the engine is not told one: one worker
+    per shard, capped by the host's CPU count (threads beyond the core count
+    only add scheduling overhead under the GIL)."""
+    return max(1, min(shards, os.cpu_count() or 1))
+
+
+class ParallelScheduler:
+    """Evaluates a stratified program concurrently over a
+    :class:`~repro.datalog.shard.ShardedFactIndex`.
+
+    One instance serves one engine evaluation
+    (:meth:`DatalogEngine.least_model <repro.datalog.engine.DatalogEngine.least_model>`
+    with ``strategy="parallel"`` builds one per fixpoint); :meth:`evaluate`
+    mutates the passed index up to the least model and fills
+    :attr:`statistics` (also exposed as the engine's
+    ``parallel_statistics``).
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.shards = engine.shards
+        self.workers = (
+            engine.workers if engine.workers is not None else default_workers(engine.shards)
+        )
+        self.statistics = ParallelStatistics(workers=self.workers)
+        self._pool = None
+
+    # -- public API ----------------------------------------------------------
+    def evaluate(self, index):
+        """Drive *index* (a :class:`~repro.datalog.shard.ShardedFactIndex`
+        seeded with the program's EDB) to the least model, wave by wave."""
+        waves = self.waves()
+        try:
+            for wave in waves:
+                self.statistics.waves += 1
+                self.statistics.wave_widths.append(len(wave))
+                if len(wave) == 1:
+                    # The whole machine belongs to one component: run its
+                    # fixpoint against the shared index, fanning the delta
+                    # passes out across shards.
+                    self._component_fixpoint(
+                        wave[0].rules,
+                        index,
+                        fan_out=True,
+                        counters=self.engine.statistics,
+                        planner_stats=self.engine.planner_statistics,
+                    )
+                    continue
+                self.statistics.concurrent_components += len(wave)
+                overlays = [FactIndex() for _ in wave]
+
+                def run(component, overlay):
+                    # Private counters and planner snapshots per concurrent
+                    # component; merged at the barrier below so the engine's
+                    # statistics stay exact without cross-thread writes.
+                    from repro.datalog.engine import EvaluationStatistics
+
+                    counters = EvaluationStatistics()
+                    self._component_fixpoint(
+                        component.rules,
+                        _StackedIndex(index, overlay),
+                        fan_out=False,
+                        counters=counters,
+                        planner_stats=JoinStatistics(),
+                    )
+                    return counters
+
+                results = self._run_tasks(
+                    [(run, (component, overlay)) for component, overlay in zip(wave, overlays)]
+                )
+                for counters in results:
+                    self._merge_counters(counters)
+                for overlay in overlays:
+                    index.absorb(overlay)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        return index
+
+    def waves(self):
+        """Group the dependency condensation into waves: antichains of
+        components levelled by longest dependency path, so that every
+        component's dependencies (positive *and* negative) live in strictly
+        earlier waves.  Stratified negation is thereby respected — a negated
+        predicate is final before any reader of it starts — and components
+        sharing a wave are mutually independent."""
+        engine = self.engine
+        components, component_of, positive_edges, negative_edges = engine._condensation()
+        if not components:
+            return []
+        rules_for = {}
+        for rule in engine.program.rules:
+            rules_for.setdefault((rule.head.predicate, rule.head.arity), []).append(rule)
+        # Components are emitted dependencies-first by Tarjan, so one pass
+        # computes longest-path levels.
+        level = [0] * len(components)
+        for position, members in enumerate(components):
+            deepest = -1
+            for head in members:
+                for dependency in chain(positive_edges[head], negative_edges[head]):
+                    target = component_of[dependency]
+                    if target != position:
+                        deepest = max(deepest, level[target])
+            level[position] = deepest + 1
+        waves = {}
+        for position, members in enumerate(components):
+            rules = [rule for key in sorted(members) for rule in rules_for.get(key, ())]
+            if not rules:
+                continue
+            waves.setdefault(level[position], []).append(_Component(members, rules))
+        return [waves[depth] for depth in sorted(waves)]
+
+    # -- component fixpoints -------------------------------------------------
+    def _component_fixpoint(self, rules, view, fan_out, counters, planner_stats):
+        """The engine's indexed semi-naive fixpoint for one component,
+        evaluated against *view* — the shared sharded index (``fan_out``,
+        single-component waves) or a private overlay stack (concurrent
+        waves).  With ``fan_out`` each delta pass splits by delta shard and
+        the slices run on the worker pool."""
+        engine = self.engine
+        delta = None
+        first_round = True
+        while True:
+            counters.iterations += 1
+            stats = (
+                planner_stats.refresh(view) if engine.planner == "histogram" else None
+            )
+            if first_round:
+                new_facts = set()
+                tasks = []
+                for rule in rules:
+                    counters.rule_applications += 1
+                    schedule = engine._schedule(rule, index=view, stats=stats)
+                    tasks.append((self._join_task, (rule, schedule, view, None)))
+                for produced in self._run_tasks(tasks, fan_out=fan_out):
+                    new_facts |= produced
+            else:
+                tasks = []
+                for rule in rules:
+                    for delta_position, literal in enumerate(rule.body):
+                        if not literal.positive:
+                            continue
+                        key = (literal.atom.predicate, len(literal.atom.args))
+                        if not delta.count(*key):
+                            counters.delta_passes_skipped += 1
+                            continue
+                        counters.rule_applications += 1
+                        schedule = engine._schedule(
+                            rule, delta_position=delta_position, index=view, stats=stats
+                        )
+                        for slice_ in self._delta_slices(delta, key, fan_out):
+                            tasks.append((self._join_task, (rule, schedule, view, slice_)))
+                new_facts = set()
+                for produced in self._run_tasks(tasks, fan_out=fan_out):
+                    new_facts |= produced
+            if not new_facts:
+                return
+            counters.facts_derived += len(new_facts)
+            if fan_out:
+                delta = ShardedFactIndex(new_facts, shards=self.shards, salt=view.salt)
+            else:
+                delta = FactIndex(new_facts)
+            view.absorb(delta)
+            first_round = False
+
+    def _join_task(self, rule, schedule, view, delta):
+        """Evaluate one (rule, schedule, delta-slice) join pass into a
+        private set — the unit of work shipped to the pool."""
+        produced = set()
+        for derived in self.engine._indexed_join(rule, schedule, view, delta, {}, 0):
+            if derived not in view:
+                produced.add(derived)
+        return produced
+
+    def _delta_slices(self, delta, key, fan_out):
+        """Split a round's delta into per-shard slices for one delta
+        predicate (whole-delta membership preserved); a single whole-delta
+        slice when not fanning out or when only one shard holds facts."""
+        if not fan_out:
+            yield delta
+            return
+        populated = [
+            delta.shard(number)
+            for number in range(delta.shard_count)
+            if delta.shard(number).count(*key)
+        ]
+        if len(populated) <= 1:
+            yield delta
+            return
+        self.statistics.shard_tasks += len(populated)
+        for shard in populated:
+            yield _DeltaShard(delta, shard)
+
+    # -- worker pool ---------------------------------------------------------
+    def _run_tasks(self, tasks, fan_out=True):
+        """Run ``(callable, args)`` tasks, on the pool when it exists and the
+        caller may use it (never from inside a concurrently evaluated
+        component — nested waiting on a bounded pool can deadlock), inline
+        otherwise.  Results are returned in task order, so every reduction
+        over them is deterministic."""
+        if self.workers > 1 and fan_out and len(tasks) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="datalog"
+                )
+            futures = [self._pool.submit(function, *args) for function, args in tasks]
+            return [future.result() for future in futures]
+        return [function(*args) for function, args in tasks]
+
+    def _merge_counters(self, counters):
+        statistics = self.engine.statistics
+        statistics.iterations += counters.iterations
+        statistics.rule_applications += counters.rule_applications
+        statistics.facts_derived += counters.facts_derived
+        statistics.delta_passes_skipped += counters.delta_passes_skipped

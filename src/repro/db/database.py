@@ -304,15 +304,17 @@ class EpistemicDatabase:
         return Transaction(self)
 
     # -- datalog view -------------------------------------------------------------------
-    def datalog_view(self, rules=(), strategy="indexed"):
+    def datalog_view(self, rules=(), strategy="indexed", shards=None, planner=None):
         """Return a :class:`~repro.db.view.DatalogView`: the Prolog-like
         reading of this database (its ground atomic sentences plus the given
         Datalog *rules*) with the least model materialized and incrementally
         maintained across every subsequent ``tell`` / ``retract`` /
-        transaction commit."""
+        transaction commit (``strategy="parallel"`` with optional *shards*
+        keeps the view's index sharded; *planner* tunes the maintenance
+        join planning)."""
         from repro.db.view import DatalogView
 
-        return DatalogView(self, rules=rules, strategy=strategy)
+        return DatalogView(self, rules=rules, strategy=strategy, shards=shards, planner=planner)
 
     # -- closed world -------------------------------------------------------------------
     def closed_world(self, queries=()):

@@ -61,16 +61,24 @@ class DatalogView:
         view.holds(parse("path(a, c)"))        # False — maintained, not recomputed
 
     The view stays subscribed to the database until :meth:`close` is called.
+
+    ``strategy`` / ``shards`` / ``planner`` configure the maintaining
+    :class:`~repro.datalog.incremental.MaterializedModel` (and through it
+    the wrapped engine): ``strategy="parallel"`` keeps the materialized
+    state in a :class:`~repro.datalog.shard.ShardedFactIndex` and evaluates
+    rebuilds with the parallel scheduler.
     """
 
-    def __init__(self, database, rules=(), strategy="indexed"):
+    def __init__(self, database, rules=(), strategy="indexed", shards=None, planner=None):
         self._database = database
         program = DatalogProgram()
         for rule in rules:
             program.add_rule(rule)
         for sentence in _ground_atoms(database.sentences()):
             program.add_fact(sentence)
-        self._materialized = MaterializedModel(program, strategy=strategy)
+        self._materialized = MaterializedModel(
+            program, strategy=strategy, shards=shards, planner=planner
+        )
         database.add_update_listener(self._on_update)
 
     # -- reading ------------------------------------------------------------

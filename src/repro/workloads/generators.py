@@ -194,6 +194,47 @@ def transitive_closure_program(chains=40, length=10, extra_edges=0, seed=0):
     return _path_rules(program)
 
 
+def independent_components_program(components=4, chains=25, length=5, extra_edges=0, seed=0):
+    """*components* mutually independent transitive closures in one program:
+    component *c* gets its own ``edge_c`` chains (as in
+    :func:`transitive_closure_program`) and its own ``path_c`` rules, with no
+    predicate shared between components.
+
+    The dependency condensation therefore has *components* independent
+    recursive SCCs — the shape that exercises the parallel scheduler's
+    wave-level concurrency (every ``path_c`` fixpoint can run concurrently),
+    where a single-predicate workload only exercises shard fan-out.
+    """
+    from repro.datalog.program import DatalogProgram, DatalogRule, DatalogLiteral
+
+    rng = _rng(seed)
+    program = DatalogProgram()
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    for component in range(components):
+        edge, path = f"edge_{component}", f"path_{component}"
+        nodes = [
+            [Parameter(f"p{component}_c{chain}_n{i}") for i in range(length + 1)]
+            for chain in range(chains)
+        ]
+        for chain in nodes:
+            for i in range(length):
+                program.add_fact(Atom(edge, (chain[i], chain[i + 1])))
+        for _ in range(extra_edges):
+            chain = rng.choice(nodes)
+            a, b = sorted(rng.sample(range(len(chain)), 2))
+            program.add_fact(Atom(edge, (chain[a], chain[b])))
+        program.add_rule(
+            DatalogRule(Atom(path, (x, y)), (DatalogLiteral(Atom(edge, (x, y))),))
+        )
+        program.add_rule(
+            DatalogRule(
+                Atom(path, (x, z)),
+                (DatalogLiteral(Atom(edge, (x, y))), DatalogLiteral(Atom(path, (y, z)))),
+            )
+        )
+    return program
+
+
 def same_generation_program(depth=5, branching=2, seed=0):
     """The classic same-generation workload over a random tree.
 

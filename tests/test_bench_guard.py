@@ -2,11 +2,12 @@
 
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
 against; these tests fail when it goes stale (a strategy, the incremental
-mode or the magic-set query section is missing, model/answer agreement was
-not verified, the incremental speedup slipped below its 10x target or the
-magic point-query speedup below its 5x target) or when indexed evaluation
-or magic-set querying regresses more than 2x against the committed ratios
-on a quick re-measurement.
+mode, the magic-set query section or the sharded parallel section is
+missing, model/answer agreement was not verified, the incremental speedup
+slipped below its 10x target or the magic point-query speedup below its 5x
+target) or when indexed evaluation, magic-set querying or the parallel
+scheduler regresses more than 2x against the committed ratios on a quick
+re-measurement.
 """
 
 import importlib.util
@@ -81,9 +82,49 @@ def test_structure_check_catches_query_speedup_below_target(report):
     assert any("5.0x target" in p for p in check_bench.structure_problems(stale))
 
 
+def test_structure_check_catches_missing_parallel_section(report):
+    stale = dict(report)
+    stale.pop("parallel", None)
+    assert any("parallel" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unverified_parallel_models(report):
+    stale = dict(report)
+    stale["parallel"] = [
+        {**row, "models_identical": False} for row in report["parallel"]
+    ]
+    assert any(
+        "model agreement with indexed" in p
+        for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_missing_parallel_ratio(report):
+    stale = dict(report)
+    stale["parallel"] = [
+        {
+            **row,
+            "shards": {
+                shards: {**cell, "speedup_parallel_vs_indexed": None}
+                for shards, cell in row["shards"].items()
+            },
+        }
+        for row in report["parallel"]
+    ]
+    assert any(
+        "parallel-vs-indexed ratio" in p for p in check_bench.structure_problems(stale)
+    )
+
+
 @pytest.mark.slow
 def test_indexed_speedup_has_not_regressed(report):
     problems = check_bench.regression_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.slow
+def test_parallel_ratio_has_not_regressed(report):
+    problems = check_bench.parallel_regression_problems(report)
     assert not problems, "; ".join(problems)
 
 

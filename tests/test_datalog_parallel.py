@@ -1,0 +1,569 @@
+"""The sharded parallel fixpoint engine.
+
+Unit coverage for :mod:`repro.datalog.shard` (the partitioned fact index)
+and :mod:`repro.datalog.parallel` (wave scheduling, shard fan-out), the
+``strategy="parallel"`` wiring of :class:`~repro.datalog.engine.DatalogEngine`
+/ :class:`~repro.datalog.incremental.MaterializedModel` /
+:class:`~repro.db.view.DatalogView`, the magic-query cache, and the
+histogram-planned maintenance schedules.
+
+The load-bearing guarantee is *determinism*: sharded/concurrent evaluation
+must produce exactly the least model (and query answers, and incremental
+apply results) of sequential indexed evaluation.  The hypothesis property
+at the bottom proves it on random stratified programs — including negation
+— across shard counts 1, 2 and 7.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.incremental import MaterializedModel
+from repro.datalog.index import FactIndex
+from repro.datalog.parallel import ParallelScheduler, default_workers
+from repro.datalog.program import DatalogLiteral, DatalogProgram, DatalogRule
+from repro.datalog.shard import ShardedFactIndex
+from repro.exceptions import StratificationError
+from repro.logic.builders import atom
+from repro.logic.syntax import Atom
+from repro.logic.terms import Parameter, Variable
+from repro.workloads.generators import (
+    independent_components_program,
+    join_chain_program,
+    point_query,
+    same_generation_program,
+    transitive_closure_program,
+    update_stream,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def edge_atoms(pairs):
+    return [atom("edge", f"n{a}", f"n{b}") for a, b in pairs]
+
+
+# ---------------------------------------------------------------------------
+# ShardedFactIndex
+# ---------------------------------------------------------------------------
+
+class TestShardedFactIndex:
+    def facts(self):
+        return edge_atoms([(i, (i * 3) % 7) for i in range(20)]) + [
+            atom("node", f"n{i}") for i in range(7)
+        ]
+
+    def test_mirrors_fact_index_contents(self):
+        facts = self.facts()
+        sharded = ShardedFactIndex(facts, shards=3)
+        plain = FactIndex(facts)
+        assert len(sharded) == len(plain)
+        assert set(sharded) == set(plain)
+        assert sharded.relations() == plain.relations()
+        for predicate, arity in plain.relations():
+            assert sharded.count(predicate, arity) == plain.count(predicate, arity)
+            assert sharded.relation(predicate, arity) == plain.relation(predicate, arity)
+        for fact in facts:
+            assert fact in sharded
+        assert atom("edge", "n99", "n0") not in sharded
+
+    def test_add_discard_roundtrip_and_counts(self):
+        sharded = ShardedFactIndex(shards=4)
+        fact = atom("edge", "a", "b")
+        assert sharded.add(fact) and not sharded.add(fact)
+        assert sharded.count("edge", 2) == 1 and len(sharded) == 1
+        assert sharded.discard(fact) and not sharded.discard(fact)
+        assert sharded.count("edge", 2) == 0 and not sharded
+        assert sharded.relations() == set()
+
+    def test_routing_is_stable_and_respects_partition_key(self):
+        sharded = ShardedFactIndex(self.facts(), shards=5)
+        for fact in self.facts():
+            number = sharded.shard_of(fact)
+            assert number == sharded.shard_of(fact)
+            assert fact in sharded.shard(number)
+        # Same predicate + first argument -> same shard, whatever the rest.
+        a, b = atom("edge", "n1", "n2"), atom("edge", "n1", "n6")
+        assert sharded.shard_of(a) == sharded.shard_of(b)
+
+    def test_candidates_route_bound_first_argument_to_one_shard(self):
+        facts = self.facts()
+        sharded = ShardedFactIndex(facts, shards=3)
+        plain = FactIndex(facts)
+        bound = [(0, Parameter("n1"))]
+        assert set(sharded.candidates("edge", 2, bound)) == set(
+            plain.candidates("edge", 2, bound)
+        )
+        # Unbound probes chain every shard and still see everything.
+        assert set(sharded.candidates("edge", 2, [])) == plain.relation("edge", 2)
+        assert set(sharded.candidates("edge", 2, [(1, Parameter("n0"))])) >= {
+            fact for fact in facts if fact.predicate == "edge" and fact.args[1].name == "n0"
+        }
+
+    def test_absorb_shard_local_fast_path_and_fallback(self):
+        base = ShardedFactIndex(edge_atoms([(0, 1), (1, 2)]), shards=3)
+        delta = ShardedFactIndex(edge_atoms([(2, 3), (3, 4)]), shards=3)
+        base.absorb(delta)
+        assert len(base) == 4 and atom("edge", "n3", "n4") in base
+        # Mismatched partitioning (different shard count) falls back to
+        # per-fact routing; a plain FactIndex absorbs the same way.
+        other = ShardedFactIndex(edge_atoms([(4, 5)]), shards=2)
+        base.absorb(other)
+        base.absorb(FactIndex(edge_atoms([(5, 6)])))
+        assert len(base) == 6 and base.count("edge", 2) == 6
+
+    def test_retract_all_is_shard_local_deletion(self):
+        facts = self.facts()
+        sharded = ShardedFactIndex(facts, shards=4)
+        doomed = FactIndex(facts[:5] + edge_atoms([(90, 91)]))  # one absent
+        assert sharded.retract_all(doomed) == 5
+        assert len(sharded) == len(facts) - 5
+        for fact in facts[:5]:
+            assert fact not in sharded
+
+    def test_histogram_and_selectivity_match_unsharded_semantics(self):
+        facts = self.facts()
+        sharded = ShardedFactIndex(facts, shards=3)
+        plain = FactIndex(facts)
+        for position in (0, 1):
+            assert sharded.histogram("edge", 2, position) == plain.histogram(
+                "edge", 2, position
+            )
+        assert sharded.selectivity("edge", 2, [0]) == pytest.approx(
+            plain.selectivity("edge", 2, [0])
+        )
+        assert sharded.selectivity("missing", 1, []) == 0.0
+
+    def test_repartition_preserves_facts_and_changes_layout(self):
+        sharded = ShardedFactIndex(self.facts(), shards=2)
+        wider = sharded.repartition(shards=5)
+        assert set(wider) == set(sharded) and wider.shard_count == 5
+        resalted = sharded.repartition(salt=7)
+        assert set(resalted) == set(sharded) and resalted.salt == 7
+
+    def test_rebalance_rehashes_only_skewed_indexes(self):
+        balanced = ShardedFactIndex(self.facts(), shards=1)
+        assert balanced.rebalance() is balanced  # skew of a single shard is 1.0
+        # A single hot (predicate, first-arg) group owns one whole shard.
+        skewed = ShardedFactIndex(
+            (atom("edge", "hub", f"b{i}") for i in range(40)), shards=4
+        )
+        assert skewed.skew() == pytest.approx(4.0)
+        rebalanced = skewed.rebalance(max_skew=1.5)
+        assert rebalanced is not skewed
+        assert set(rebalanced) == set(skewed)
+        assert rebalanced.salt != skewed.salt
+        assert skewed.rebalance(max_skew=5.0) is skewed
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedFactIndex(shards=0)
+
+
+# ---------------------------------------------------------------------------
+# Wave scheduling
+# ---------------------------------------------------------------------------
+
+class TestWaves:
+    def test_independent_components_share_a_wave(self):
+        program = independent_components_program(components=3, chains=2, length=2)
+        engine = DatalogEngine(program, strategy="parallel", shards=2)
+        waves = ParallelScheduler(engine).waves()
+        assert [len(wave) for wave in waves] == [3]
+
+    def test_same_stratum_dependencies_split_into_waves(self):
+        # q depends positively on p: same stratum, but q must wait for p.
+        program = DatalogProgram()
+        program.add_fact(atom("e", "a"))
+        program.add_rule(DatalogRule(Atom("p", (X,)), (DatalogLiteral(Atom("e", (X,))),)))
+        program.add_rule(DatalogRule(Atom("q", (X,)), (DatalogLiteral(Atom("p", (X,))),)))
+        engine = DatalogEngine(program, strategy="parallel", shards=2)
+        waves = ParallelScheduler(engine).waves()
+        assert [len(wave) for wave in waves] == [1, 1]
+        assert waves[0][0].predicates == {("p", 1)}
+        assert waves[1][0].predicates == {("q", 1)}
+        assert engine.least_model() == DatalogEngine(program).least_model()
+
+    def test_negative_dependencies_order_waves(self):
+        program = DatalogProgram()
+        program.add_fact(atom("node", "a"))
+        program.add_fact(atom("node", "b"))
+        program.add_fact(atom("edge", "a", "b"))
+        program.add_rule(DatalogRule(Atom("path", (X, Y)), (DatalogLiteral(Atom("edge", (X, Y))),)))
+        program.add_rule(
+            DatalogRule(
+                Atom("isolated", (X,)),
+                (
+                    DatalogLiteral(Atom("node", (X,))),
+                    DatalogLiteral(Atom("path", (X, X)), False),
+                ),
+            )
+        )
+        engine = DatalogEngine(program, strategy="parallel", shards=2)
+        waves = ParallelScheduler(engine).waves()
+        assert waves[0][0].predicates == {("path", 2)}
+        assert waves[1][0].predicates == {("isolated", 1)}
+
+    def test_unstratifiable_program_still_rejected(self):
+        program = DatalogProgram()
+        program.add_fact(atom("e", "a"))
+        program.add_rule(
+            DatalogRule(
+                Atom("p", (X,)),
+                (DatalogLiteral(Atom("e", (X,))), DatalogLiteral(Atom("p", (X,)), False)),
+            )
+        )
+        with pytest.raises(StratificationError):
+            DatalogEngine(program, strategy="parallel")
+
+
+# ---------------------------------------------------------------------------
+# strategy="parallel" wiring
+# ---------------------------------------------------------------------------
+
+class TestParallelStrategy:
+    def test_shards_and_workers_rejected_for_sequential_strategies(self):
+        program = transitive_closure_program(chains=2, length=2)
+        with pytest.raises(ValueError):
+            DatalogEngine(program, shards=2)
+        with pytest.raises(ValueError):
+            DatalogEngine(program, strategy="indexed", workers=2)
+        with pytest.raises(ValueError):
+            DatalogEngine(program, strategy="parallel", shards=0)
+        with pytest.raises(ValueError):
+            DatalogEngine(program, strategy="parallel", workers=0)
+
+    def test_default_workers_are_capped_by_cpu_count(self):
+        import os
+
+        assert default_workers(64) == max(1, min(64, os.cpu_count() or 1))
+        assert default_workers(1) == 1
+
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (3, 1), (3, 2), (7, 2)])
+    def test_matches_indexed_on_workload_generators(self, shards, workers):
+        for builder, params in [
+            (transitive_closure_program, dict(chains=8, length=4)),
+            (same_generation_program, dict(depth=3, branching=2)),
+            (join_chain_program, dict(relations=3, rows=40)),
+            (independent_components_program, dict(components=3, chains=3, length=3)),
+        ]:
+            reference = DatalogEngine(builder(**params)).least_model()
+            engine = DatalogEngine(
+                builder(**params), strategy="parallel", shards=shards, workers=workers
+            )
+            assert engine.least_model() == reference
+
+    def test_parallel_statistics_report_waves_and_fanout(self):
+        engine = DatalogEngine(
+            independent_components_program(components=3, chains=4, length=4),
+            strategy="parallel", shards=4, workers=2,
+        )
+        engine.least_model()
+        stats = engine.parallel_statistics
+        assert stats.waves == 1
+        assert stats.wave_widths == [3] and stats.max_wave_width == 3
+        assert stats.concurrent_components == 3
+        assert stats.workers == 2
+        single = DatalogEngine(
+            transitive_closure_program(chains=8, length=4),
+            strategy="parallel", shards=4, workers=2,
+        )
+        single.least_model()
+        assert single.parallel_statistics.shard_tasks > 0
+
+    def test_evaluation_statistics_stay_meaningful(self):
+        program = transitive_closure_program(chains=6, length=4)
+        engine = DatalogEngine(
+            transitive_closure_program(chains=6, length=4),
+            strategy="parallel", shards=3, workers=1,
+        )
+        engine.least_model()
+        reference = DatalogEngine(program)
+        reference.least_model()
+        assert engine.statistics.facts_derived == reference.statistics.facts_derived
+        assert engine.statistics.strata == reference.statistics.strata
+        assert engine.statistics.iterations >= reference.statistics.iterations > 0
+
+    def test_query_modes_agree_with_indexed(self):
+        program = same_generation_program(depth=3, branching=2)
+        goal = point_query(program, "sg")
+        reference = DatalogEngine(same_generation_program(depth=3, branching=2))
+        engine = DatalogEngine(program, strategy="parallel", shards=3, workers=2)
+        for mode in ("magic", "full"):
+            expected = canonical(reference.query(goal, mode=mode))
+            assert canonical(engine.query(goal, mode=mode)) == expected
+
+    def test_materialized_model_and_view_accept_parallel(self):
+        from repro.db.database import EpistemicDatabase
+
+        program = transitive_closure_program(chains=4, length=3)
+        materialized = MaterializedModel(program, strategy="parallel", shards=3)
+        assert isinstance(materialized._index, ShardedFactIndex)
+        batch = next(update_stream(program, batches=1, churn=0.1, seed=2))
+        materialized.apply(*batch)
+        assert materialized.model() == DatalogEngine(program).least_model()
+
+        db = EpistemicDatabase.from_text("edge(a, b); edge(b, c)")
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        rules = [
+            DatalogRule(Atom("path", (x, y)), (DatalogLiteral(Atom("edge", (x, y))),)),
+            DatalogRule(
+                Atom("path", (x, z)),
+                (DatalogLiteral(Atom("edge", (x, y))), DatalogLiteral(Atom("path", (y, z)))),
+            ),
+        ]
+        view = db.datalog_view(rules=rules, strategy="parallel", shards=2)
+        assert view.holds("path(a, c)")
+        with db.transaction() as txn:
+            txn.retract("edge(b, c)")
+        assert not view.holds("path(a, c)")
+        view.close()
+
+    def test_materialized_model_shards_require_parallel(self):
+        program = transitive_closure_program(chains=2, length=2)
+        with pytest.raises(ValueError):
+            MaterializedModel(program, shards=2)
+        with pytest.raises(ValueError):
+            MaterializedModel(DatalogEngine(program), shards=2)
+
+
+# ---------------------------------------------------------------------------
+# Magic query cache
+# ---------------------------------------------------------------------------
+
+class TestMagicQueryCache:
+    def test_repeated_point_query_is_served_from_cache(self):
+        program = same_generation_program(depth=3, branching=2)
+        engine = DatalogEngine(program)
+        goal = point_query(program, "sg")
+        first = engine.query(goal, mode="magic")
+        second = engine.query(goal, mode="magic")
+        assert not first.cached and second.cached
+        assert canonical(first) == canonical(second)
+        assert second.join_passes == 0 and second.facts_derived == 0
+        assert second.mode == "magic" and second.adornment == first.adornment
+
+    def test_same_adornment_shares_the_rewrite_template(self):
+        program = same_generation_program(depth=3, branching=2)
+        engine = DatalogEngine(program)
+        leaves = sorted(
+            {f.atom.args[0] for f in program.facts if f.atom.predicate == "parent"},
+            key=lambda p: p.name,
+        )
+        first = engine.query(Atom("sg", (leaves[0], Variable("z"))), mode="magic")
+        second = engine.query(Atom("sg", (leaves[1], Variable("z"))), mode="magic")
+        assert not first.cached and not second.cached  # different constants
+        assert len(engine._magic_templates) == 1  # one bf template shared
+        assert len(engine._magic_models) == 2
+
+    def test_fact_changes_invalidate_the_cache(self):
+        program = transitive_closure_program(chains=2, length=3)
+        engine = DatalogEngine(program)
+        goal = Atom("path", (Parameter("c0_n0"), Variable("z")))
+        before = engine.query(goal, mode="magic")
+        assert engine.query(goal, mode="magic").cached
+        program.add_fact(Atom("edge", (Parameter("c0_n3"), Parameter("c0_n99"))))
+        after = engine.query(goal, mode="magic")
+        assert not after.cached
+        assert len(after) == len(before) + 1
+
+    def test_cache_is_bounded(self):
+        from repro.datalog.engine import MAGIC_MODEL_CACHE_SIZE
+
+        program = transitive_closure_program(chains=8, length=4)
+        engine = DatalogEngine(program)
+        constants = sorted(program.parameters(), key=lambda p: p.name)
+        assert len(constants) > MAGIC_MODEL_CACHE_SIZE
+        for constant in constants[: MAGIC_MODEL_CACHE_SIZE + 4]:
+            engine.query(Atom("path", (constant, Variable("z"))), mode="magic")
+        assert len(engine._magic_models) == MAGIC_MODEL_CACHE_SIZE
+
+    def test_plan_instantiate_roundtrip_matches_rewrite(self):
+        from repro.datalog import magic
+
+        program = same_generation_program(depth=3, branching=2)
+        goal = point_query(program, "sg")
+        template = magic.plan(program, goal)
+        assert template.adornment == "bf"
+        via_template = magic.instantiate(template, program, goal)
+        direct = magic.rewrite(program, goal)
+        assert via_template.answer_predicate == direct.answer_predicate
+        assert via_template.seed == direct.seed
+        assert set(via_template.program.rules) == set(direct.program.rules)
+        wrong = Atom("sg", (Variable("a"), Variable("b")))
+        from repro.exceptions import MagicRewriteError
+
+        with pytest.raises(MagicRewriteError):
+            magic.instantiate(template, program, wrong)
+
+
+# ---------------------------------------------------------------------------
+# Histogram-planned maintenance
+# ---------------------------------------------------------------------------
+
+class TestMaintenancePlanning:
+    def test_histogram_and_uniform_maintenance_agree(self):
+        for planner in ("histogram", "uniform"):
+            program = transitive_closure_program(chains=6, length=4)
+            materialized = MaterializedModel(program, planner=planner)
+            for batch in update_stream(program, batches=6, churn=0.05, seed=5):
+                materialized.apply(*batch)
+            assert materialized.model() == DatalogEngine(program).least_model()
+            if planner == "histogram":
+                assert materialized.planner_statistics.refreshes > 0
+            else:
+                assert materialized.planner_statistics.refreshes == 0
+
+    def test_maintenance_schedules_are_reordered_by_histograms(self):
+        # joined(x, z) :- r1(x, y), r2(y, z) with r2 much smaller than r1:
+        # the histogram planner starts the no-delta (rederivation) schedule
+        # from the small relation, the uniform planner keeps textual order.
+        program = DatalogProgram()
+        for i in range(30):
+            program.add_fact(atom("r1", f"a{i}", "hub"))
+        program.add_fact(atom("r2", "hub", "t"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        rule = DatalogRule(
+            Atom("joined", (x, z)),
+            (DatalogLiteral(Atom("r1", (x, y))), DatalogLiteral(Atom("r2", (y, z)))),
+        )
+        program.add_rule(rule)
+
+        ordered = MaterializedModel(program, planner="histogram")
+        ordered._refresh_planner_stats()
+        schedule = ordered._maintenance_schedule(rule, None)
+        assert schedule[0][0].atom.predicate == "r2"
+
+        textual = MaterializedModel(program, planner="uniform")
+        textual._refresh_planner_stats()
+        schedule = textual._maintenance_schedule(rule, None)
+        assert schedule[0][0].atom.predicate == "r1"
+
+    def test_invalid_planner_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedModel(
+                transitive_closure_program(chains=2, length=2), planner="psychic"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The determinism property: parallel ≡ indexed
+# ---------------------------------------------------------------------------
+
+def canonical(result):
+    return sorted(
+        sorted((variable.name, parameter.name) for variable, parameter in binding.items())
+        for binding in result
+    )
+
+
+def build_random_program(edges, with_two_hop, with_negation, with_same_generation):
+    """The random stratified program family of
+    ``tests/test_properties_engine.py``: transitive closure plus optional
+    multi-literal joins, same-generation recursion and stratified
+    negation."""
+    program = DatalogProgram()
+    names = set()
+    for source, target in edges:
+        program.add_fact(atom("edge", f"n{source}", f"n{target}"))
+        names.update((f"n{source}", f"n{target}"))
+    for name in sorted(names):
+        program.add_fact(atom("node", name))
+    program.add_rule(DatalogRule(Atom("path", (X, Y)), (DatalogLiteral(Atom("edge", (X, Y))),)))
+    program.add_rule(
+        DatalogRule(
+            Atom("path", (X, Z)),
+            (DatalogLiteral(Atom("edge", (X, Y))), DatalogLiteral(Atom("path", (Y, Z)))),
+        )
+    )
+    if with_two_hop:
+        program.add_rule(
+            DatalogRule(
+                Atom("two_hop", (X, Z)),
+                (DatalogLiteral(Atom("edge", (X, Y))), DatalogLiteral(Atom("edge", (Y, Z)))),
+            )
+        )
+    if with_same_generation:
+        program.add_rule(DatalogRule(Atom("sg", (X, X)), (DatalogLiteral(Atom("node", (X,))),)))
+        program.add_rule(
+            DatalogRule(
+                Atom("sg", (X, Z)),
+                (
+                    DatalogLiteral(Atom("edge", (Y, X))),
+                    DatalogLiteral(Atom("sg", (Y, Variable("w")))),
+                    DatalogLiteral(Atom("edge", (Variable("w"), Z))),
+                ),
+            )
+        )
+    if with_negation:
+        program.add_rule(
+            DatalogRule(
+                Atom("unreachable", (X, Y)),
+                (
+                    DatalogLiteral(Atom("node", (X,))),
+                    DatalogLiteral(Atom("node", (Y,))),
+                    DatalogLiteral(Atom("path", (X, Y)), False),
+                ),
+            )
+        )
+    return program
+
+
+datalog_edges = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=10
+)
+update_moves = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 4), st.integers(0, 4)),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(datalog_edges, st.booleans(), st.booleans(), st.booleans())
+def test_parallel_least_model_and_queries_match_indexed(
+    edges, with_two_hop, with_negation, with_same_generation
+):
+    """``strategy="parallel"`` computes exactly the least model and the
+    ``QueryResult`` answers of ``indexed`` on random stratified programs
+    (including negation), for shard counts 1, 2 and 7."""
+    build = lambda: build_random_program(
+        edges, with_two_hop, with_negation, with_same_generation
+    )
+    indexed = DatalogEngine(build())
+    reference = indexed.least_model()
+    goals = [
+        Atom("path", (Variable("a"), Variable("b"))),
+        Atom("path", (Parameter(f"n{edges[0][0]}"), Variable("b"))),
+    ]
+    if with_negation:
+        goals.append(Atom("unreachable", (Parameter(f"n{edges[0][0]}"), Variable("b"))))
+    expected = [canonical(DatalogEngine(build()).query(goal, mode="magic")) for goal in goals]
+    for shards in (1, 2, 7):
+        engine = DatalogEngine(build(), strategy="parallel", shards=shards, workers=2)
+        assert engine.least_model() == reference
+        fresh = DatalogEngine(build(), strategy="parallel", shards=shards, workers=2)
+        for goal, answers in zip(goals, expected):
+            assert canonical(fresh.query(goal, mode="magic")) == answers
+
+
+@settings(max_examples=20, deadline=None)
+@given(datalog_edges, update_moves, st.booleans())
+def test_parallel_incremental_apply_matches_indexed(edges, moves, with_negation):
+    """A sharded (parallel-engine) MaterializedModel and an indexed one
+    apply the same insert/delete stream to identical models, and both agree
+    with a from-scratch recompute after every batch."""
+    build = lambda: build_random_program(edges, False, with_negation, False)
+    indexed = MaterializedModel(build())
+    for shards in (2, 7):
+        sharded = MaterializedModel(build(), strategy="parallel", shards=shards)
+        for is_insert, source, target in moves:
+            fact = atom("edge", f"n{source}", f"n{target}")
+            batch = ([fact], []) if is_insert else ([], [fact])
+            sharded.apply(*batch)
+        assert sharded.model() == DatalogEngine(sharded.program).least_model()
+    for is_insert, source, target in moves:
+        fact = atom("edge", f"n{source}", f"n{target}")
+        batch = ([fact], []) if is_insert else ([], [fact])
+        indexed.apply(*batch)
+    assert indexed.model() == DatalogEngine(indexed.program).least_model()

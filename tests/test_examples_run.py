@@ -63,6 +63,14 @@ def test_goal_directed_queries_example(capsys):
     assert "non-rewritable goal answered via mode='full' (fell back: True)" in output
 
 
+def test_parallel_evaluation_example(capsys):
+    _load("parallel_evaluation").main()
+    output = capsys.readouterr().out
+    assert "widths [4]" in output
+    assert output.count("identical to indexed: True") == 2
+    assert "skew" in output
+
+
 def test_incremental_updates_example(capsys):
     _load("incremental_updates").main()
     output = capsys.readouterr().out
