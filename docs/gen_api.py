@@ -44,6 +44,11 @@ SECTIONS = [
      ["DatalogEngine", "QueryResult", "EvaluationStatistics"]),
     ("repro.datalog.index", "Fact indexes — `repro.datalog.index`",
      ["FactIndex"]),
+    ("repro.datalog.interner", "Constant interning — `repro.datalog.interner`",
+     ["Interner", "fast_atom"]),
+    ("repro.datalog.columnar", "Columnar storage — `repro.datalog.columnar`",
+     ["ColumnarRelation", "RowStore", "ColumnarFactIndex", "decode_world",
+      "compile_schedule", "compiled_for", "columnar_fixpoint"]),
     ("repro.datalog.shard", "Sharded storage — `repro.datalog.shard`",
      ["ShardedFactIndex"]),
     ("repro.datalog.parallel", "Parallel scheduling — `repro.datalog.parallel`",

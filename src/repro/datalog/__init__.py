@@ -13,6 +13,15 @@ This subpackage provides that substrate:
   bottom-up evaluation with stratified negation;
 * :mod:`repro.datalog.index` — hash indexes over ground facts (per
   relation and per argument position) backing the indexed strategy;
+* :mod:`repro.datalog.interner` — the bidirectional symbol table
+  (:class:`~repro.datalog.interner.Interner`) mapping constants to dense
+  integer ids at the program boundary;
+* :mod:`repro.datalog.columnar` — columnar interned fact storage
+  (:class:`~repro.datalog.columnar.ColumnarFactIndex` over per-column
+  integer arrays) and the generated id-space joins; the default backend of
+  the indexed and parallel strategies (``storage="columnar"``), with
+  object-graph storage (``storage="objects"``) kept as the ablation
+  baseline;
 * :mod:`repro.datalog.incremental` — incremental view maintenance: a
   :class:`~repro.datalog.incremental.MaterializedModel` keeps the least
   model consistent under EDB insertions *and* deletions at delta cost
@@ -47,8 +56,10 @@ from repro.datalog.engine import (
     EvaluationStatistics,
     QueryResult,
 )
+from repro.datalog.columnar import ColumnarFactIndex, RowStore
 from repro.datalog.index import FactIndex
 from repro.datalog.incremental import MaintenanceStatistics, MaterializedModel, UpdateResult
+from repro.datalog.interner import Interner
 from repro.datalog.magic import MagicProgram, MagicTemplate, adornment_of
 from repro.datalog.magic import rewrite as magic_rewrite
 from repro.datalog.parallel import ParallelScheduler, ParallelStatistics
@@ -58,6 +69,7 @@ from repro.datalog.completion import clark_completion
 
 __all__ = [
     "ColumnStatistics",
+    "ColumnarFactIndex",
     "DEFAULT_SHARDS",
     "DatalogEngine",
     "DatalogFact",
@@ -66,6 +78,7 @@ __all__ = [
     "DatalogRule",
     "EvaluationStatistics",
     "FactIndex",
+    "Interner",
     "JoinStatistics",
     "MagicProgram",
     "MagicTemplate",
@@ -76,6 +89,7 @@ __all__ = [
     "ParallelStatistics",
     "QUERY_MODES",
     "QueryResult",
+    "RowStore",
     "STRATEGIES",
     "ShardedFactIndex",
     "UpdateResult",

@@ -70,7 +70,14 @@ estimate, refreshed every fixpoint round.
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.datalog.columnar import (
+    ColumnarFactIndex,
+    RowStore,
+    columnar_fixpoint,
+    decode_world,
+)
 from repro.datalog.index import FactIndex
+from repro.datalog.interner import Interner
 from repro.datalog.stats import JoinStatistics
 from repro.exceptions import MagicRewriteError, StratificationError, UnsafeRuleError
 from repro.logic.syntax import Atom
@@ -79,6 +86,7 @@ from repro.semantics.worlds import World
 
 STRATEGIES = ("naive", "semi-naive", "indexed", "parallel")
 PLANNERS = ("histogram", "uniform")
+STORAGES = ("objects", "columnar")
 QUERY_MODES = ("auto", "magic", "full")
 
 #: how many evaluated goal-relevant models ``query()`` keeps per engine
@@ -171,14 +179,33 @@ class DatalogEngine:
     :data:`~repro.datalog.shard.DEFAULT_SHARDS`) and ``workers`` the thread
     pool size (default: one per shard, capped by the CPU count); both are
     rejected under the sequential strategies.
+
+    ``storage`` selects the fact representation (one of :data:`STORAGES`):
+    ``"objects"`` (hash-sets of :class:`~repro.logic.syntax.Atom`) or
+    ``"columnar"`` (constants interned to dense integer ids, facts stored
+    as id rows and joined by generated id-space loops — see
+    :mod:`repro.datalog.columnar`).  The two produce identical models,
+    query answers and evaluation counters; columnar is the fast path for
+    large fact sets and is available under the ``indexed`` and ``parallel``
+    strategies (the scanning strategies are set-based baselines and reject
+    it).  The default (``storage=None``) resolves to ``"columnar"`` under
+    those two strategies and ``"objects"`` under the scanning baselines.
     """
 
     def __init__(self, program, strategy="indexed", planner="histogram",
-                 shards=None, workers=None):
+                 shards=None, workers=None, storage=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
         if planner not in PLANNERS:
             raise ValueError(f"planner must be one of {', '.join(PLANNERS)}")
+        if storage is None:
+            storage = "columnar" if strategy in ("indexed", "parallel") else "objects"
+        if storage not in STORAGES:
+            raise ValueError(f"storage must be one of {', '.join(STORAGES)}")
+        if storage == "columnar" and strategy not in ("indexed", "parallel"):
+            raise ValueError(
+                "columnar storage requires the indexed or parallel strategy"
+            )
         if strategy == "parallel":
             from repro.datalog.shard import DEFAULT_SHARDS
 
@@ -196,6 +223,11 @@ class DatalogEngine:
         self.planner = planner
         self.shards = shards
         self.workers = workers
+        self.storage = storage
+        # One symbol table per engine: append-only, so ids stay stable
+        # across evaluations; the compiled-join cache shares its lifetime.
+        self.interner = Interner() if storage == "columnar" else None
+        self._compiled_cache = {} if storage == "columnar" else None
         self.statistics = EvaluationStatistics()
         self.planner_statistics = JoinStatistics()
         # Filled per parallel evaluation by ParallelScheduler (waves, wave
@@ -244,12 +276,48 @@ class DatalogEngine:
         if self.strategy == "parallel":
             model = self._evaluate_parallel()
         elif self.strategy == "indexed":
-            model = self._evaluate_indexed()
+            if self.storage == "columnar":
+                model = self._evaluate_columnar()
+            else:
+                model = self._evaluate_indexed()
         else:
             model = self._evaluate_scanning()
         self._model = model
         self._model_key = key
         return model
+
+    def least_index(self):
+        """Evaluate the fixpoint and return the final fact storage — a
+        :class:`~repro.datalog.index.FactIndex`,
+        :class:`~repro.datalog.columnar.ColumnarFactIndex` or
+        :class:`~repro.datalog.shard.ShardedFactIndex` holding the least
+        model's atoms — *without* materialising a
+        :class:`~repro.semantics.worlds.World`.
+
+        This is the fixpoint product for index-consuming pipelines (shard
+        exchange, feeding another engine, bulk export): skipping the
+        World's frozen atom-set construction avoids decoding/validating
+        every atom at the API edge, which for large models costs more than
+        the fixpoint itself.  Only the ``indexed`` and ``parallel``
+        strategies materialise an index; the scanning strategies raise
+        ``ValueError``.  The result is freshly evaluated (never cached) and
+        must be treated as read-only if the engine is reused.
+        """
+        if self.strategy not in ("indexed", "parallel"):
+            raise ValueError("least_index requires the indexed or parallel strategy")
+        key = self._program_key()
+        if self._strata_key != key:
+            self._strata = self._stratify()
+            self._strata_key = key
+        self.statistics = EvaluationStatistics()
+        self.planner_statistics = JoinStatistics()
+        if self.strategy == "parallel":
+            return self._parallel_fixpoint()
+        if self.storage == "columnar":
+            return ColumnarFactIndex.from_store(
+                self._columnar_fixpoint(), self.interner
+            )
+        return self._indexed_fixpoint_index()
 
     def query(self, atom, mode="auto"):
         """Answer a single goal *atom* (which may mix constants and
@@ -371,7 +439,7 @@ class DatalogEngine:
         # constructor accepts as "not set".
         inner = DatalogEngine(
             magic_program.program, strategy=self.strategy, planner=self.planner,
-            shards=self.shards, workers=self.workers,
+            shards=self.shards, workers=self.workers, storage=self.storage,
         )
         model = inner.least_model()
         answers = magic_program.answers(model)
@@ -442,31 +510,67 @@ class DatalogEngine:
                 database = self._semi_naive_fixpoint(rules, database)
         return World(database)
 
-    def _evaluate_indexed(self):
+    def _indexed_fixpoint_index(self):
         index = FactIndex(fact.atom for fact in self.program.facts)
         for stratum_index, stratum in enumerate(self._strata):
             self.statistics.strata = stratum_index + 1
             rules = self._stratum_rules(stratum)
             if rules:
                 self._indexed_fixpoint(rules, index)
-        return World(index)
+        return index
 
-    def _evaluate_parallel(self):
+    def _evaluate_indexed(self):
+        return World(self._indexed_fixpoint_index())
+
+    def _columnar_fixpoint(self):
+        """Run the full stratified fixpoint in id space and return the
+        resulting :class:`~repro.datalog.columnar.RowStore` (the engine's
+        interner decodes it)."""
+        interner = self.interner
+        store = RowStore()
+        encode = interner.encode_atom
+        add_row = store.add_row
+        for fact in self.program.facts:
+            key, row = encode(fact.atom)
+            add_row(key, row)
+        for stratum_index, stratum in enumerate(self._strata):
+            self.statistics.strata = stratum_index + 1
+            rules = self._stratum_rules(stratum)
+            if rules:
+                columnar_fixpoint(self, rules, store, interner, self._compiled_cache)
+        return store
+
+    def _evaluate_columnar(self):
+        return decode_world(self._columnar_fixpoint(), self.interner)
+
+    def _parallel_fixpoint(self):
         """Evaluate over a :class:`~repro.datalog.shard.ShardedFactIndex`
-        with :class:`~repro.datalog.parallel.ParallelScheduler`: independent
-        dependency components run concurrently and delta passes fan out
-        across shards; the resulting model is identical to the sequential
-        strategies (set-union reductions are order-independent)."""
+        with :class:`~repro.datalog.parallel.ParallelScheduler` and return
+        the index: independent dependency components run concurrently and
+        delta passes fan out across shards; the resulting model is
+        identical to the sequential strategies (set-union reductions are
+        order-independent)."""
         from repro.datalog.parallel import ParallelScheduler
         from repro.datalog.shard import ShardedFactIndex
 
         index = ShardedFactIndex(
-            (fact.atom for fact in self.program.facts), shards=self.shards
+            (fact.atom for fact in self.program.facts),
+            shards=self.shards,
+            storage=self.storage,
+            interner=self.interner,
         )
         scheduler = ParallelScheduler(self)
         self.parallel_statistics = scheduler.statistics
         scheduler.evaluate(index)
         self.statistics.strata = len(self._strata)
+        return index
+
+    def _evaluate_parallel(self):
+        index = self._parallel_fixpoint()
+        if self.storage == "columnar":
+            return decode_world(
+                [shard.store for shard in index.shard_indexes()], self.interner
+            )
         return World.from_fact_index(index)
 
     def _planner_stats(self, index):

@@ -152,25 +152,42 @@ class MaterializedModel:
     same discipline the engine's cache uses) and falls back to a full
     rebuild.
 
-    ``strategy`` (plus ``shards`` when it is ``"parallel"``) configures the
-    wrapped engine when one has to be built; with a parallel engine the
-    materialized index is sharded (see the module docstring).  ``planner``
-    selects the maintenance join planning — ``"histogram"`` (observed
-    bucket-size histograms) or ``"uniform"`` (unplanned textual order);
-    default: the wrapped engine's planner.
+    ``strategy`` (plus ``shards`` when it is ``"parallel"``, plus
+    ``storage``) configures the wrapped engine when one has to be built;
+    with a parallel engine the materialized index is sharded (see the
+    module docstring).  When the engine stores columnar
+    (``storage="columnar"``), the materialized index is a
+    :class:`~repro.datalog.columnar.ColumnarFactIndex` over the engine's
+    interner — membership, DRed overdeletion/rederivation set algebra and
+    the counting table are all keyed on interned id-tuples, while the
+    maintenance joins keep running at the atom face through the identical
+    index contract.  ``planner`` selects the maintenance join planning —
+    ``"histogram"`` (observed bucket-size histograms) or ``"uniform"``
+    (unplanned textual order); default: the wrapped engine's planner.
     """
 
-    def __init__(self, program_or_engine, strategy="indexed", shards=None, planner=None):
+    def __init__(self, program_or_engine, strategy="indexed", shards=None, planner=None,
+                 storage=None):
         if isinstance(program_or_engine, DatalogEngine):
             if shards is not None:
                 raise ValueError("pass shards via the engine when wrapping one")
+            if storage is not None:
+                raise ValueError("pass storage via the engine when wrapping one")
             self.engine = program_or_engine
         elif strategy == "parallel":
-            self.engine = DatalogEngine(program_or_engine, strategy=strategy, shards=shards)
+            self.engine = DatalogEngine(
+                program_or_engine, strategy=strategy, shards=shards,
+                storage="objects" if storage is None else storage,
+            )
         else:
             if shards is not None:
                 raise ValueError("shards are only meaningful with strategy='parallel'")
-            self.engine = DatalogEngine(program_or_engine, strategy=strategy)
+            self.engine = DatalogEngine(
+                program_or_engine, strategy=strategy,
+                storage="objects" if storage is None else storage,
+            )
+        self.storage = self.engine.storage
+        self._interner = self.engine.interner
         self.planner = self.engine.planner if planner is None else planner
         if self.planner not in PLANNERS:
             raise ValueError(f"planner must be one of {', '.join(PLANNERS)}")
@@ -260,7 +277,7 @@ class MaterializedModel:
         atom = _as_ground_atom(atom)
         key = (atom.predicate, len(atom.args))
         if self._kind.get(key) == "counting":
-            return self._counts.get(atom, 0)
+            return self._counts.get(self._count_key(atom), 0)
         return 1 if atom in self._index else 0
 
     def apply(self, insertions=(), deletions=()):
@@ -345,9 +362,10 @@ class MaterializedModel:
         self._edb = {fact.atom for fact in self.program.facts}
         self._index = self._new_index(self._edb)
         self._counts = defaultdict(int)
+        encode = self._interner.encode_atom if self._interner is not None else None
         for atom in self._edb:
             if self._kind.get((atom.predicate, len(atom.args))) == "counting":
-                self._counts[atom] += 1
+                self._counts[atom if encode is None else encode(atom)] += 1
         for component in self._components:
             self._build_component(component)
         self._world = None
@@ -370,13 +388,30 @@ class MaterializedModel:
 
     def _new_index(self, atoms=()):
         """A fresh materialized index: sharded with the engine's shard count
-        when the wrapped engine evaluates in parallel, a plain
+        when the wrapped engine evaluates in parallel, columnar over the
+        engine's interner when the engine stores columnar, a plain
         :class:`~repro.datalog.index.FactIndex` otherwise."""
-        if self.engine.strategy == "parallel":
+        engine = self.engine
+        if engine.strategy == "parallel":
             from repro.datalog.shard import ShardedFactIndex
 
-            return ShardedFactIndex(atoms, shards=self.engine.shards)
+            return ShardedFactIndex(
+                atoms, shards=engine.shards,
+                storage=self.storage, interner=self._interner,
+            )
+        if self.storage == "columnar":
+            from repro.datalog.columnar import ColumnarFactIndex
+
+            return ColumnarFactIndex(atoms, interner=self._interner)
         return FactIndex(atoms)
+
+    def _count_key(self, atom):
+        """The key a derivation count is stored under: the atom itself under
+        object storage, its interned ``((predicate, arity), id-row)`` under
+        columnar — so the counting table never pins decoded atoms."""
+        if self._interner is None:
+            return atom
+        return self._interner.encode_atom(atom)
 
     def _refresh_planner_stats(self):
         """Re-snapshot the maintenance planner's histograms from the live
@@ -439,6 +474,7 @@ class MaterializedModel:
             return
         engine = self.engine
         counting = not component.recursive
+        encode = self._interner.encode_atom if self._interner is not None else None
         delta = None
         first_round = True
         while True:
@@ -457,7 +493,7 @@ class MaterializedModel:
                         rule, schedule, self._index, None, {}, 0
                     ):
                         if counting:
-                            self._counts[derived] += 1
+                            self._counts[derived if encode is None else encode(derived)] += 1
                         if derived not in self._index:
                             new_facts.add(derived)
                     continue
@@ -473,7 +509,7 @@ class MaterializedModel:
                         rule, schedule, self._index, delta, {}, 0
                     ):
                         if counting:
-                            self._counts[derived] += 1
+                            self._counts[derived if encode is None else encode(derived)] += 1
                         if derived not in self._index:
                             new_facts.add(derived)
             if not new_facts:
@@ -556,14 +592,17 @@ class MaterializedModel:
         """
         added_net = set()
         removed_net = set()
+        encode = self._interner.encode_atom if self._interner is not None else None
         born, died = set(), set()
         for atom in edb_plus:
-            self._counts[atom] += 1
-            if self._counts[atom] == 1:
+            key = atom if encode is None else encode(atom)
+            self._counts[key] += 1
+            if self._counts[key] == 1:
                 born.add(atom)
         for atom in edb_minus:
-            self._counts[atom] -= 1
-            if self._counts[atom] <= 0:
+            key = atom if encode is None else encode(atom)
+            self._counts[key] -= 1
+            if self._counts[key] <= 0:
                 died.add(atom)
         dplus = FactIndex(iter(acc_plus))
         dminus = FactIndex(iter(acc_minus))
@@ -582,7 +621,7 @@ class MaterializedModel:
                         for derived in self._pass_join(
                             rule, schedule, "increment", dplus, dminus, {}, 0
                         ):
-                            self._counts[derived] += 1
+                            self._counts[derived if encode is None else encode(derived)] += 1
                             touched.add(derived)
                     if removed_support.count(*key):
                         self.statistics.delta_passes += 1
@@ -590,10 +629,16 @@ class MaterializedModel:
                         for derived in self._pass_join(
                             rule, schedule, "decrement", dplus, dminus, {}, 0
                         ):
-                            self._counts[derived] -= 1
+                            self._counts[derived if encode is None else encode(derived)] -= 1
                             touched.add(derived)
-            born = {f for f in touched if self._counts[f] > 0 and f not in self._index}
-            died = {f for f in touched if self._counts[f] <= 0 and f in self._index}
+            if encode is None:
+                born = {f for f in touched if self._counts[f] > 0 and f not in self._index}
+                died = {f for f in touched if self._counts[f] <= 0 and f in self._index}
+            else:
+                born = {f for f in touched
+                        if self._counts[encode(f)] > 0 and f not in self._index}
+                died = {f for f in touched
+                        if self._counts[encode(f)] <= 0 and f in self._index}
             dplus, dminus = FactIndex(), FactIndex()
             self._transition(born, died, dplus, dminus, added_net, removed_net)
         return added_net, removed_net
@@ -609,8 +654,9 @@ class MaterializedModel:
                 else:
                     added_net.add(fact)
         for fact in died:
-            if self._counts.get(fact, 0) <= 0:
-                self._counts.pop(fact, None)
+            key = self._count_key(fact)
+            if self._counts.get(key, 0) <= 0:
+                self._counts.pop(key, None)
             if self._index.discard(fact):
                 dminus.add(fact)
                 if fact in added_net:

@@ -220,6 +220,15 @@ class FactIndex:
             return {}
         return {value: len(bucket) for value, bucket in positional[position].items()}
 
+    def histogram_sizes(self, predicate, arity, position):
+        """Just the bucket sizes of :meth:`histogram`, as a list — what the
+        planner's per-round refresh actually consumes, without building a
+        value-keyed dict."""
+        positional = self._arguments.get((predicate, arity))
+        if positional is None:
+            return []
+        return [len(bucket) for bucket in positional[position].values()]
+
     def selectivity(self, predicate, arity, positions):
         """Estimate how many facts of ``predicate/arity`` survive binding
         the given argument *positions* (an iterable of position indexes).

@@ -199,14 +199,24 @@ class ParallelScheduler:
                 if len(wave) == 1:
                     # The whole machine belongs to one component: run its
                     # fixpoint against the shared index, fanning the delta
-                    # passes out across shards.
-                    self._component_fixpoint(
-                        wave[0].rules,
-                        index,
-                        fan_out=True,
-                        counters=self.engine.statistics,
-                        planner_stats=self.engine.planner_statistics,
-                    )
+                    # passes out across shards.  Columnar shards take the
+                    # compiled id-space fixpoint; object shards the atom-face
+                    # one.  Both fan out and count identically.
+                    if index.storage == "columnar":
+                        self._columnar_component_fixpoint(
+                            wave[0].rules,
+                            index,
+                            counters=self.engine.statistics,
+                            planner_stats=self.engine.planner_statistics,
+                        )
+                    else:
+                        self._component_fixpoint(
+                            wave[0].rules,
+                            index,
+                            fan_out=True,
+                            counters=self.engine.statistics,
+                            planner_stats=self.engine.planner_statistics,
+                        )
                     continue
                 self.statistics.concurrent_components += len(wave)
                 overlays = [FactIndex() for _ in wave]
@@ -320,11 +330,100 @@ class ParallelScheduler:
                 return
             counters.facts_derived += len(new_facts)
             if fan_out:
-                delta = ShardedFactIndex(new_facts, shards=self.shards, salt=view.salt)
+                delta = ShardedFactIndex(
+                    new_facts,
+                    shards=self.shards,
+                    salt=view.salt,
+                    storage=view.storage,
+                    interner=view.interner,
+                )
             else:
                 delta = FactIndex(new_facts)
             view.absorb(delta)
             first_round = False
+
+    def _columnar_component_fixpoint(self, rules, view, counters, planner_stats):
+        """The compiled id-space semi-naive fixpoint for one component over
+        a columnar :class:`~repro.datalog.shard.ShardedFactIndex` — the
+        columnar twin of the ``fan_out`` atom-face fixpoint, with identical
+        round structure, counters and shard fan-out.  Each delta pass runs a
+        generated join (:func:`~repro.datalog.columnar.compile_schedule`)
+        over the shard :class:`~repro.datalog.columnar.RowStore` fragments;
+        per-shard delta slices enumerate one shard's delta store while the
+        non-duplicating ``old`` discipline consults the whole round delta,
+        and the round barrier ships compact id-row sets back into the shards
+        (:meth:`~repro.datalog.shard.ShardedFactIndex.absorb_row_facts`)."""
+        from repro.datalog.columnar import compiled_for
+
+        engine = self.engine
+        interner = view.interner
+        cache = engine._compiled_cache
+        sources = tuple(shard.store for shard in view.shard_indexes())
+        fragments = len(sources)
+        delta_stores = None
+        first_round = True
+        while True:
+            counters.iterations += 1
+            stats = (
+                planner_stats.refresh(view) if engine.planner == "histogram" else None
+            )
+            tasks = []
+            if first_round:
+                for rule in rules:
+                    counters.rule_applications += 1
+                    schedule = engine._schedule(rule, index=view, stats=stats)
+                    join = compiled_for(
+                        cache, rule, None, schedule, interner, (fragments, 0)
+                    )
+                    tasks.append((self._columnar_join_task, (join, sources, (), ())))
+            else:
+                delta_full = tuple(delta_stores)
+                shape = (fragments, len(delta_full))
+                for rule in rules:
+                    for delta_position, literal in enumerate(rule.body):
+                        if not literal.positive:
+                            continue
+                        key = (literal.atom.predicate, len(literal.atom.args))
+                        populated = [
+                            store for store in delta_stores if store.count(*key)
+                        ]
+                        if not populated:
+                            counters.delta_passes_skipped += 1
+                            continue
+                        counters.rule_applications += 1
+                        schedule = engine._schedule(
+                            rule, delta_position=delta_position, index=view, stats=stats
+                        )
+                        join = compiled_for(
+                            cache, rule, delta_position, schedule, interner, shape
+                        )
+                        if len(populated) == 1:
+                            tasks.append((
+                                self._columnar_join_task,
+                                (join, sources, delta_full, delta_full),
+                            ))
+                        else:
+                            self.statistics.shard_tasks += len(populated)
+                            for store in populated:
+                                tasks.append((
+                                    self._columnar_join_task,
+                                    (join, sources, delta_full, (store,)),
+                                ))
+            new_facts = set()
+            for produced in self._run_tasks(tasks):
+                new_facts |= produced
+            if not new_facts:
+                return
+            counters.facts_derived += len(new_facts)
+            delta_stores = view.absorb_row_facts(new_facts)
+            first_round = False
+
+    def _columnar_join_task(self, join, sources, delta_full, delta_enum):
+        """Run one generated join pass into a private ``(key, id-row)`` set
+        — the columnar unit of work shipped to the pool."""
+        produced = set()
+        join(sources, delta_full, delta_enum, produced)
+        return produced
 
     def _join_task(self, rule, schedule, view, delta):
         """Evaluate one (rule, schedule, delta-slice) join pass into a

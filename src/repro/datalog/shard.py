@@ -42,7 +42,9 @@ work.
 from itertools import chain
 from zlib import crc32
 
+from repro.datalog.columnar import ColumnarFactIndex, RowStore
 from repro.datalog.index import FactIndex
+from repro.datalog.interner import Interner
 
 #: default shard count of :class:`ShardedFactIndex` (and of the engine's
 #: ``strategy="parallel"``) when none is given.
@@ -50,16 +52,35 @@ DEFAULT_SHARDS = 4
 
 
 class ShardedFactIndex:
-    """A mutable set of ground atoms partitioned across N
-    :class:`~repro.datalog.index.FactIndex` shards by stable hash of
-    ``(predicate, first argument)``."""
+    """A mutable set of ground atoms partitioned across N shards by stable
+    hash of ``(predicate, first argument)``.
 
-    __slots__ = ("_shards", "_counts", "_salt")
+    ``storage`` selects the per-shard backend: ``"objects"`` gives
+    :class:`~repro.datalog.index.FactIndex` shards, ``"columnar"`` gives
+    :class:`~repro.datalog.columnar.ColumnarFactIndex` shards over one
+    shared :class:`~repro.datalog.interner.Interner` (pass ``interner`` to
+    share ids with an engine; one is created otherwise).  The surface is
+    identical either way."""
 
-    def __init__(self, atoms=(), shards=DEFAULT_SHARDS, salt=0):
+    __slots__ = ("_shards", "_counts", "_salt", "_storage", "_interner")
+
+    def __init__(self, atoms=(), shards=DEFAULT_SHARDS, salt=0,
+                 storage="objects", interner=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        self._shards = tuple(FactIndex() for _ in range(shards))
+        if storage not in ("objects", "columnar"):
+            raise ValueError(f"storage must be 'objects' or 'columnar', got {storage!r}")
+        if storage == "columnar":
+            interner = interner if interner is not None else Interner()
+            self._shards = tuple(
+                ColumnarFactIndex(interner=interner) for _ in range(shards)
+            )
+        else:
+            if interner is not None:
+                raise ValueError("interner is only meaningful with storage='columnar'")
+            self._shards = tuple(FactIndex() for _ in range(shards))
+        self._storage = storage
+        self._interner = interner
         # (predicate, arity) -> fact count across all shards, kept eagerly so
         # count()/relations() never fan out.
         self._counts = {}
@@ -71,6 +92,21 @@ class ShardedFactIndex:
     def shard_count(self):
         """How many shards the index is partitioned into."""
         return len(self._shards)
+
+    @property
+    def storage(self):
+        """The per-shard backend: ``"objects"`` or ``"columnar"``."""
+        return self._storage
+
+    @property
+    def interner(self):
+        """The shared symbol table of columnar shards (``None`` under
+        object storage)."""
+        return self._interner
+
+    def shard_indexes(self):
+        """The backing shard indexes, in shard order (treat as read-only)."""
+        return self._shards
 
     @property
     def salt(self):
@@ -114,6 +150,8 @@ class ShardedFactIndex:
             iter(self),
             shards=self.shard_count if shards is None else shards,
             salt=self._salt if salt is None else salt,
+            storage=self._storage,
+            interner=self._interner,
         )
 
     def rebalance(self, max_skew=1.5):
@@ -156,6 +194,7 @@ class ShardedFactIndex:
             isinstance(other, ShardedFactIndex)
             and other.shard_count == self.shard_count
             and other._salt == self._salt
+            and other._storage == self._storage
         ):
             for mine, theirs in zip(self._shards, other._shards):
                 mine.absorb(theirs)
@@ -164,6 +203,28 @@ class ShardedFactIndex:
             return self
         self.add_all(iter(other))
         return self
+
+    def absorb_row_facts(self, facts):
+        """Columnar row face: route ``(key, id-row)`` facts to their owning
+        shards, insert them, and return the per-shard delta
+        :class:`~repro.datalog.columnar.RowStore`\\ s (in shard order) — the
+        parallel scheduler's compact delta exchange.  The facts are assumed
+        new (the semi-naive delta guarantee), so the relation counts update
+        without presence checks."""
+        if self._storage != "columnar":
+            raise ValueError("absorb_row_facts requires storage='columnar'")
+        parameter = self._interner.parameter
+        route = self._route
+        deltas = [RowStore() for _ in self._shards]
+        counts = self._counts
+        for key, row in facts:
+            first = parameter(row[0]) if row else None
+            deltas[route(key[0], first)].add_row(key, row)
+            counts[key] = counts.get(key, 0) + 1
+        for shard, delta in zip(self._shards, deltas):
+            if delta:
+                shard.store.absorb(delta)
+        return deltas
 
     # -- deletion ------------------------------------------------------------
     def discard(self, atom):
@@ -247,6 +308,22 @@ class ShardedFactIndex:
                 merged[value] = merged.get(value, 0) + size
         return merged
 
+    def histogram_sizes(self, predicate, arity, position):
+        """Just the merged bucket sizes (the planner refresh face).  Under
+        columnar storage the per-shard histograms merge in id space — no
+        parameter decoding per refresh."""
+        merged = {}
+        if self._storage == "columnar":
+            for shard in self._shards:
+                histogram = shard.store.histogram(predicate, arity, position)
+                for value, size in histogram.items():
+                    merged[value] = merged.get(value, 0) + size
+        else:
+            for shard in self._shards:
+                for value, size in shard.histogram(predicate, arity, position).items():
+                    merged[value] = merged.get(value, 0) + size
+        return list(merged.values())
+
     def selectivity(self, predicate, arity, positions):
         """The uniform-distribution estimate of how many facts survive
         binding the given argument *positions* — total cardinality divided
@@ -257,10 +334,14 @@ class ShardedFactIndex:
         if not total:
             return 0.0
         estimate = float(total)
+        columnar = self._storage == "columnar"
         for position in positions:
             distinct = set()
             for shard in self._shards:
-                distinct.update(shard.histogram(predicate, arity, position))
+                if columnar:
+                    distinct.update(shard.store.histogram(predicate, arity, position))
+                else:
+                    distinct.update(shard.histogram(predicate, arity, position))
             if len(distinct) > 1:
                 estimate /= len(distinct)
         return estimate

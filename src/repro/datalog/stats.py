@@ -91,25 +91,38 @@ class JoinStatistics:
     def refresh(self, index):
         """Re-snapshot the bucket-size histograms of every relation held by
         *index*.  Called by the engine at the start of each fixpoint round;
-        returns ``self`` for chaining."""
+        returns ``self`` for chaining.
+
+        Only bucket *sizes* feed the summary, so indexes exposing
+        ``histogram_sizes`` (both storage backends do) hand them over
+        without materialising a value-keyed dict per refresh; others fall
+        back to the full :meth:`histogram
+        <repro.datalog.index.FactIndex.histogram>` contract."""
         self.refreshes += 1
+        sizes_of = getattr(index, "histogram_sizes", None)
+        if sizes_of is None:
+            def sizes_of(predicate, arity, position):
+                return index.histogram(predicate, arity, position).values()
         columns = {}
         for key in index.relations():
             predicate, arity = key
             total = index.count(predicate, arity)
             columns[key] = tuple(
-                self._summarise(index.histogram(predicate, arity, position), total)
+                self._summarise(sizes_of(predicate, arity, position), total)
                 for position in range(arity)
             )
         self._columns = columns
         return self
 
     @staticmethod
-    def _summarise(histogram, total):
-        distinct = len(histogram)
+    def _summarise(sizes, total):
+        """Fold an iterable of bucket *sizes* into a
+        :class:`ColumnStatistics`."""
+        distinct = 0
         max_bucket = 0
         sum_of_squares = 0
-        for size in histogram.values():
+        for size in sizes:
+            distinct += 1
             if size > max_bucket:
                 max_bucket = size
             sum_of_squares += size * size

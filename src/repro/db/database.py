@@ -304,17 +304,20 @@ class EpistemicDatabase:
         return Transaction(self)
 
     # -- datalog view -------------------------------------------------------------------
-    def datalog_view(self, rules=(), strategy="indexed", shards=None, planner=None):
+    def datalog_view(self, rules=(), strategy="indexed", shards=None, planner=None,
+                     storage=None):
         """Return a :class:`~repro.db.view.DatalogView`: the Prolog-like
         reading of this database (its ground atomic sentences plus the given
         Datalog *rules*) with the least model materialized and incrementally
         maintained across every subsequent ``tell`` / ``retract`` /
         transaction commit (``strategy="parallel"`` with optional *shards*
         keeps the view's index sharded; *planner* tunes the maintenance
-        join planning)."""
+        join planning; ``storage="columnar"`` keeps the view's index in
+        interned dense-id columnar relations)."""
         from repro.db.view import DatalogView
 
-        return DatalogView(self, rules=rules, strategy=strategy, shards=shards, planner=planner)
+        return DatalogView(self, rules=rules, strategy=strategy, shards=shards,
+                           planner=planner, storage=storage)
 
     # -- closed world -------------------------------------------------------------------
     def closed_world(self, queries=()):

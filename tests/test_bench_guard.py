@@ -2,12 +2,14 @@
 
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
 against; these tests fail when it goes stale (a strategy, the incremental
-mode, the magic-set query section or the sharded parallel section is
-missing, model/answer agreement was not verified, the incremental speedup
-slipped below its 10x target or the magic point-query speedup below its 5x
-target) or when indexed evaluation, magic-set querying or the parallel
-scheduler regresses more than 2x against the committed ratios on a quick
-re-measurement.
+mode, the magic-set query section, the sharded parallel section or the
+columnar-vs-objects storage section is missing, model/answer agreement was
+not verified, the incremental speedup slipped below its 10x target, the
+magic point-query speedup below its 5x target or the columnar fixpoint
+speedup / peak-memory advantage below its 3x / <1x targets, or cells were
+timed with fewer than 3 repeats) or when indexed evaluation, magic-set
+querying, the parallel scheduler or columnar storage regresses more than 2x
+against the committed ratios on a quick re-measurement.
 """
 
 import importlib.util
@@ -116,6 +118,46 @@ def test_structure_check_catches_missing_parallel_ratio(report):
     )
 
 
+def test_structure_check_catches_single_repeat_timing(report):
+    stale = {**report, "repeats": 1}
+    assert any("best-of-3" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_missing_storage_section(report):
+    stale = dict(report)
+    stale.pop("storage", None)
+    assert any("storage section" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unverified_storage_fixpoints(report):
+    stale = dict(report)
+    stale["storage"] = [
+        {**row, "models_identical": False} for row in report["storage"]
+    ]
+    assert any(
+        "fixpoint agreement" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_storage_speedup_below_target(report):
+    stale = dict(report)
+    stale["storage"] = [
+        {**row, "speedup_columnar_vs_objects": 1.4} for row in report["storage"]
+    ]
+    assert any("3.0x target" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_storage_memory_regression(report):
+    stale = dict(report)
+    stale["storage"] = [
+        {**row, "memory_ratio_objects_vs_columnar": 0.8}
+        for row in report["storage"]
+    ]
+    assert any(
+        "peak memory is not below" in p for p in check_bench.structure_problems(stale)
+    )
+
+
 @pytest.mark.slow
 def test_indexed_speedup_has_not_regressed(report):
     problems = check_bench.regression_problems(report)
@@ -131,4 +173,10 @@ def test_parallel_ratio_has_not_regressed(report):
 @pytest.mark.slow
 def test_magic_query_speedup_has_not_regressed(report):
     problems = check_bench.query_regression_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.slow
+def test_columnar_storage_speedup_has_not_regressed(report):
+    problems = check_bench.storage_regression_problems(report)
     assert not problems, "; ".join(problems)

@@ -78,3 +78,13 @@ def test_incremental_updates_example(capsys):
     assert "stream speedup" in output
     assert "preview without edge(b, d): path(a, d) holds: False" in output
     assert "rollback left the view untouched: True" in output
+
+
+def test_columnar_storage_example(capsys):
+    _load("columnar_storage").main()
+    output = capsys.readouterr().out
+    assert "models identical across storages: True" in output
+    assert "statistics identical: True" in output
+    assert "decodes back: True" in output
+    assert "columnar MaterializedModel after an insert: True" in output
+    assert "parallel columnar model identical: True" in output
