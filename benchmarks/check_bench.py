@@ -21,9 +21,12 @@ section with model agreement verified and a parallel-vs-indexed ratio
 recorded on a transitive-closure row, include the columnar-vs-objects
 ``storage`` section with fixpoint agreement verified and both the >= 3x
 columnar fixpoint speedup and the peak-memory advantage holding on the
-largest row, and have been timed best-of-3 or better (``repeats``) — a PR
-that adds a mode, strategy or storage backend without re-running
-``run_bench.py`` fails here.
+largest row, include the static-analysis section (analyzer timings with
+zero findings on the shipped generators, and the dead-rule pruning cell
+with ``check="off"``-vs-``check="warn"`` model agreement verified), and
+have been timed best-of-3 or better (``repeats``) — a PR that adds a mode,
+strategy or storage backend without re-running ``run_bench.py`` fails
+here.
 
 *Regression* (``regression_problems``): re-times the indexed strategy
 against unindexed semi-naive on a committed transitive-closure row and fails
@@ -209,6 +212,41 @@ def structure_problems(report):
                 f"columnar peak memory is not below object storage on the "
                 f"largest storage row (objects/columnar ratio {memory_ratio})"
             )
+    analysis = report.get("analysis")
+    if analysis is None:
+        problems.append(
+            "missing static-analysis section — re-run benchmarks/run_bench.py"
+        )
+    else:
+        lint_rows = analysis.get("lint") or []
+        if not lint_rows:
+            problems.append("analysis section has no lint rows")
+        for row in lint_rows:
+            if row.get("analysis_seconds") is None:
+                problems.append(
+                    f"analysis lint row {row.get('workload')} "
+                    f"{row.get('params')} lacks a timing"
+                )
+            if row.get("findings", 0) != 0:
+                problems.append(
+                    f"analysis lint row {row.get('workload')} "
+                    f"{row.get('params')} has {row.get('findings')} findings — "
+                    "the shipped generators must lint clean"
+                )
+        pruning = analysis.get("pruning")
+        if not pruning:
+            problems.append("analysis section has no pruning cell")
+        else:
+            if not pruning.get("models_identical", False):
+                problems.append(
+                    "analysis pruning cell did not verify model agreement "
+                    "between check='off' and check='warn'"
+                )
+            if not pruning.get("dead_rules"):
+                problems.append("analysis pruning cell seeded no dead rules")
+            for field in ("seconds_unpruned", "seconds_pruned", "analysis_seconds"):
+                if pruning.get(field) is None:
+                    problems.append(f"analysis pruning cell lacks {field}")
     return problems
 
 

@@ -59,6 +59,7 @@ import tracemalloc
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.datalog.analyze import analyze_program  # noqa: E402
 from repro.datalog.engine import STRATEGIES, DatalogEngine  # noqa: E402
 from repro.datalog.incremental import MaterializedModel  # noqa: E402
 from repro.logic.terms import Variable  # noqa: E402
@@ -557,6 +558,136 @@ def run_storage_bench(grid=None, repeats=3):
     return rows
 
 
+ANALYSIS_LINT_GRID = [
+    ("transitive_closure", transitive_closure_program, dict(chains=400, length=5)),
+    ("same_generation", same_generation_program, dict(depth=6, branching=2)),
+]
+
+QUICK_ANALYSIS_LINT_GRID = [
+    ("transitive_closure", transitive_closure_program, dict(chains=100, length=5)),
+    ("same_generation", same_generation_program, dict(depth=4, branching=2)),
+]
+
+ANALYSIS_PRUNING_PARAMS = dict(chains=200, length=5)
+
+
+def run_analysis_bench(lint_grid=None, repeats=3, dead_rules=24,
+                       pruning_params=None):
+    """Time the static analyzer (`repro.datalog.analyze`) two ways.
+
+    *lint*: ``analyze_program`` wall time on the largest generated
+    workloads — the full pass (safety, signatures, condensation,
+    duplicates/subsumption, dead code), which must come back with zero
+    findings on the shipped generators.  Analysis is a front-end pass over
+    rules and fact counts, so its cost is independent of the model the
+    fixpoint then derives.
+
+    *pruning*: the same transitive-closure program with ``dead_rules``
+    seeded never-fire rules (each reads an empty ``ghost_i`` relation),
+    evaluated under ``check="off"`` (unpruned, no analysis) and under the
+    default ``check="warn"`` (analysis runs and the dead rules are pruned
+    before stratification).  The models are verified identical — pruning
+    is semantics-preserving by construction — and the recorded pruned
+    time *includes* the analysis pass, so the ratio is the honest cost of
+    leaving the default on.
+    """
+    section = {"lint": [], "pruning": None}
+    for workload, builder, params in lint_grid or ANALYSIS_LINT_GRID:
+        program = builder(**params)
+        best = None
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            analysis = analyze_program(program)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        if analysis.diagnostics:
+            raise SystemExit(
+                f"analysis found {len(analysis.diagnostics)} issue(s) in the "
+                f"{workload} generator output: {analysis.report()}"
+            )
+        row = {
+            "workload": workload,
+            "params": params,
+            "facts": len(program.facts),
+            "rules": len(program.rules),
+            "findings": len(analysis.diagnostics),
+            "analysis_seconds": round(best, 6),
+        }
+        section["lint"].append(row)
+        print(
+            f"analysis lint {workload} {params} ({row['facts']} facts, "
+            f"{row['rules']} rules): {best * 1000:.1f} ms, "
+            f"{row['findings']} findings"
+        )
+
+    pruning_params = pruning_params or ANALYSIS_PRUNING_PARAMS
+
+    def seeded_program():
+        program = transitive_closure_program(**pruning_params)
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        for i in range(dead_rules):
+            program.rule(
+                Atom("path", (x, z)),
+                Atom(f"ghost_{i}", (x, y)), Atom("path", (y, z)),
+            )
+        return program
+
+    base_rules = len(transitive_closure_program(**pruning_params).rules)
+    timings = {}
+    models = {}
+    for check in ("off", "warn"):
+        best = None
+        for _ in range(repeats):
+            engine = DatalogEngine(seeded_program(), check=check)
+            gc.collect()
+            start = time.perf_counter()
+            model = engine.least_model()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        timings[check] = best
+        models[check] = model
+    if models["off"] != models["warn"]:
+        raise SystemExit(
+            "analysis pruning changed the least model: "
+            f"off={len(models['off'])} warn={len(models['warn'])} atoms"
+        )
+    analysis_best = None
+    for _ in range(repeats):
+        program = seeded_program()
+        gc.collect()
+        start = time.perf_counter()
+        analyze_program(program)
+        elapsed = time.perf_counter() - start
+        if analysis_best is None or elapsed < analysis_best:
+            analysis_best = elapsed
+    pruning = {
+        "workload": "transitive_closure",
+        "params": pruning_params,
+        "facts": len(seeded_program().facts),
+        "base_rules": base_rules,
+        "dead_rules": dead_rules,
+        "seconds_unpruned": round(timings["off"], 6),
+        "seconds_pruned": round(timings["warn"], 6),
+        "analysis_seconds": round(analysis_best, 6),
+        "speedup_pruned_vs_unpruned": round(
+            timings["off"] / max(timings["warn"], 1e-9), 2
+        ),
+        "models_identical": True,
+    }
+    section["pruning"] = pruning
+    print(
+        f"analysis pruning {pruning_params} ({pruning['facts']} facts, "
+        f"{dead_rules} dead rules seeded): unpruned "
+        f"{timings['off'] * 1000:.1f} ms, pruned {timings['warn'] * 1000:.1f} ms "
+        f"(analysis itself {analysis_best * 1000:.1f} ms) -> "
+        f"{pruning['speedup_pruned_vs_unpruned']}x"
+    )
+    return section
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -609,6 +740,8 @@ def main(argv=None):
                         help="skip the sharded parallel section")
     parser.add_argument("--no-storage", action="store_true",
                         help="skip the columnar-vs-objects storage section")
+    parser.add_argument("--no-analysis", action="store_true",
+                        help="skip the static-analyzer section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -650,6 +783,12 @@ def main(argv=None):
         report["storage"] = run_storage_bench(
             QUICK_STORAGE_GRID if args.quick else STORAGE_GRID,
             repeats=args.repeats,
+        )
+    if not args.no_analysis:
+        report["analysis"] = run_analysis_bench(
+            QUICK_ANALYSIS_LINT_GRID if args.quick else ANALYSIS_LINT_GRID,
+            repeats=args.repeats,
+            dead_rules=8 if args.quick else 24,
         )
     if args.experiments:
         report["experiments"] = run_experiments()
@@ -720,6 +859,13 @@ def main(argv=None):
                 f"--check failed: columnar peak memory is not below object "
                 f"storage (ratio {memory_ratio})"
             )
+    if "analysis" in report and report["analysis"].get("lint"):
+        largest = max(report["analysis"]["lint"], key=lambda r: r["facts"])
+        print(
+            f"analysis headline: linting {largest['facts']} "
+            f"{largest['workload']} facts takes "
+            f"{largest['analysis_seconds'] * 1000:.1f} ms, 0 findings"
+        )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

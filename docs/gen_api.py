@@ -33,19 +33,25 @@ docstring; `tests/test_docs_api.py` fails when this file goes stale).
 User guides: [datalog.md](datalog.md) for programs, evaluation and
 incremental maintenance, [queries.md](queries.md) for the goal-directed
 query layer, [parallel.md](parallel.md) for sharded parallel evaluation,
-[architecture.md](architecture.md) for the module map.
+[analysis.md](analysis.md) for the static analyzer and its diagnostic
+codes, [architecture.md](architecture.md) for the module map.
 """
 
 #: (module path, section title, [exported names])
 SECTIONS = [
     ("repro.datalog.program", "Programs — `repro.datalog.program`",
      ["DatalogProgram", "DatalogRule", "DatalogLiteral", "DatalogFact"]),
+    ("repro.datalog.analyze", "Static analysis — `repro.datalog.analyze`",
+     ["analyze_program", "ProgramAnalysis", "Diagnostic", "PredicateSignature",
+      "rule_safety", "condensation_of", "strongly_connected_components",
+      "negative_cycle", "format_cycle", "subsumes", "unchecked_rule",
+      "parse_program", "main"]),
     ("repro.datalog.engine", "Evaluation — `repro.datalog.engine`",
      ["DatalogEngine", "QueryResult", "EvaluationStatistics"]),
     ("repro.datalog.index", "Fact indexes — `repro.datalog.index`",
      ["FactIndex"]),
     ("repro.datalog.interner", "Constant interning — `repro.datalog.interner`",
-     ["Interner", "fast_atom"]),
+     ["Interner", "fast_atom", "constant_kind"]),
     ("repro.datalog.columnar", "Columnar storage — `repro.datalog.columnar`",
      ["ColumnarRelation", "RowStore", "ColumnarFactIndex", "decode_world",
       "compile_schedule", "compiled_for", "columnar_fixpoint"]),

@@ -11,6 +11,13 @@ This subpackage provides that substrate:
   negation in rule bodies), programs, and conversion to/from FOPCE sentences;
 * :mod:`repro.datalog.engine` — naive, semi-naive and indexed semi-naive
   bottom-up evaluation with stratified negation;
+* :mod:`repro.datalog.analyze` — static program analysis: structured
+  diagnostics (safety per variable, arity/constant-kind conflicts,
+  negative cycles spelled out as predicate paths, duplicate/subsumed
+  rules, dead code), inferred per-predicate signatures, the dependency
+  condensation shared with the engine, the dead-rule pruner behind
+  ``DatalogEngine(check=...)``, and a linter CLI
+  (``python -m repro.datalog.analyze``);
 * :mod:`repro.datalog.index` — hash indexes over ground facts (per
   relation and per argument position) backing the indexed strategy;
 * :mod:`repro.datalog.interner` — the bidirectional symbol table
@@ -48,7 +55,17 @@ This subpackage provides that substrate:
 """
 
 from repro.datalog.program import DatalogFact, DatalogLiteral, DatalogProgram, DatalogRule
+from repro.datalog.analyze import (
+    CODES,
+    Diagnostic,
+    PredicateSignature,
+    ProgramAnalysis,
+    analyze_program,
+    parse_program,
+    unchecked_rule,
+)
 from repro.datalog.engine import (
+    CHECK_MODES,
     PLANNERS,
     QUERY_MODES,
     STRATEGIES,
@@ -68,6 +85,8 @@ from repro.datalog.stats import ColumnStatistics, JoinStatistics
 from repro.datalog.completion import clark_completion
 
 __all__ = [
+    "CHECK_MODES",
+    "CODES",
     "ColumnStatistics",
     "ColumnarFactIndex",
     "DEFAULT_SHARDS",
@@ -76,6 +95,7 @@ __all__ = [
     "DatalogLiteral",
     "DatalogProgram",
     "DatalogRule",
+    "Diagnostic",
     "EvaluationStatistics",
     "FactIndex",
     "Interner",
@@ -87,6 +107,8 @@ __all__ = [
     "PLANNERS",
     "ParallelScheduler",
     "ParallelStatistics",
+    "PredicateSignature",
+    "ProgramAnalysis",
     "QUERY_MODES",
     "QueryResult",
     "RowStore",
@@ -94,6 +116,9 @@ __all__ = [
     "ShardedFactIndex",
     "UpdateResult",
     "adornment_of",
+    "analyze_program",
     "clark_completion",
     "magic_rewrite",
+    "parse_program",
+    "unchecked_rule",
 ]

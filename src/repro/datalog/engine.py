@@ -67,9 +67,17 @@ histograms (:mod:`repro.datalog.stats`) rather than the uniform-distribution
 estimate, refreshed every fixpoint round.
 """
 
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.datalog.analyze import (
+    analyze_program,
+    condensation_of,
+    format_cycle,
+    negative_cycle,
+    strongly_connected_components,
+)
 from repro.datalog.columnar import (
     ColumnarFactIndex,
     RowStore,
@@ -79,7 +87,13 @@ from repro.datalog.columnar import (
 from repro.datalog.index import FactIndex
 from repro.datalog.interner import Interner
 from repro.datalog.stats import JoinStatistics
-from repro.exceptions import MagicRewriteError, StratificationError, UnsafeRuleError
+from repro.exceptions import (
+    MagicRewriteError,
+    ProgramAnalysisError,
+    ProgramAnalysisWarning,
+    StratificationError,
+    UnsafeRuleError,
+)
 from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter, Variable
 from repro.semantics.worlds import World
@@ -88,6 +102,7 @@ STRATEGIES = ("naive", "semi-naive", "indexed", "parallel")
 PLANNERS = ("histogram", "uniform")
 STORAGES = ("objects", "columnar")
 QUERY_MODES = ("auto", "magic", "full")
+CHECK_MODES = ("off", "warn", "strict")
 
 #: how many evaluated goal-relevant models ``query()`` keeps per engine
 #: (templates are unbounded — one per reachable adornment, a small set).
@@ -190,10 +205,24 @@ class DatalogEngine:
     strategies (the scanning strategies are set-based baselines and reject
     it).  The default (``storage=None``) resolves to ``"columnar"`` under
     those two strategies and ``"objects"`` under the scanning baselines.
+
+    ``check`` selects the static-analysis mode (one of :data:`CHECK_MODES`,
+    see :mod:`repro.datalog.analyze`): ``"warn"`` (the default) runs the
+    analyzer once per program content at ``least_model()`` /
+    ``least_index()`` / ``query()`` entry, records its findings on
+    ``engine.diagnostics``, surfaces error-severity ones through
+    :class:`~repro.exceptions.ProgramAnalysisWarning` and prunes rules the
+    analyzer proves can never fire (a semantics-preserving rewrite applied
+    before stratification, magic rewriting and shard scheduling, so every
+    strategy inherits it); ``"strict"`` runs the analysis eagerly at
+    construction and raises :class:`~repro.exceptions.ProgramAnalysisError`
+    on *any* non-informational finding, before evaluation starts;
+    ``"off"`` skips the analyzer entirely (``engine.diagnostics`` stays
+    empty and nothing is pruned).
     """
 
     def __init__(self, program, strategy="indexed", planner="histogram",
-                 shards=None, workers=None, storage=None):
+                 shards=None, workers=None, storage=None, check="warn"):
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
         if planner not in PLANNERS:
@@ -218,6 +247,8 @@ class DatalogEngine:
                     raise ValueError(f"workers must be >= 1, got {workers}")
         elif shards is not None or workers is not None:
             raise ValueError("shards/workers are only meaningful with strategy='parallel'")
+        if check not in CHECK_MODES:
+            raise ValueError(f"check must be one of {', '.join(CHECK_MODES)}")
         self.program = program
         self.strategy = strategy
         self.planner = planner
@@ -239,14 +270,85 @@ class DatalogEngine:
         self._magic_templates = {}
         self._magic_models = {}
         self._magic_key = None
-        self._strata = self._stratify()
-        self._strata_key = self._program_key()
+        # Static analysis state (see ensure_checked): the cached
+        # ProgramAnalysis, the program content it was computed for, and the
+        # effective (never-fire-pruned) program every consumer of the rule
+        # set reads through _effective_program().
+        self.check = check
+        self.diagnostics = ()
+        self._analysis = None
+        self._analysis_key = None
+        self._effective = None
+        self._strata_rules = None
+        if check == "strict":
+            # Reject defective programs before any stratification work —
+            # raises ProgramAnalysisError, carrying the diagnostics.
+            self.ensure_checked()
+        self._refresh_strata(self._program_key())
         self._model = None
         self._model_key = None
         # Set by MaterializedModel: a zero-argument callable that refreshes
         # the cache (via install_model) from incrementally maintained state,
         # so a cache miss costs O(delta) instead of a fixpoint.
         self._model_provider = None
+
+    # -- static analysis ----------------------------------------------------
+    def ensure_checked(self):
+        """Run (or reuse) the static analysis of
+        :mod:`repro.datalog.analyze` according to ``self.check``; returns
+        the :class:`~repro.datalog.analyze.ProgramAnalysis` (``None`` under
+        ``check="off"``).
+
+        The analysis is cached per program content (plus declared outputs)
+        and re-run only when either changes.  Under ``"strict"`` any
+        non-informational diagnostic raises
+        :class:`~repro.exceptions.ProgramAnalysisError`; under ``"warn"``
+        error-severity diagnostics are surfaced as
+        :class:`~repro.exceptions.ProgramAnalysisWarning` and evaluation
+        proceeds.  Either way the analyzer's never-fire rules are pruned
+        from the *effective* program that stratification, magic planning
+        and the parallel scheduler read (a semantics-preserving rewrite —
+        only rules with a provably empty positive body predicate go).
+        """
+        if self.check == "off":
+            return None
+        key = (self._program_key(), frozenset(getattr(self.program, "outputs", ())))
+        if self._analysis is not None and self._analysis_key == key:
+            return self._analysis
+        analysis = analyze_program(self.program)
+        self._analysis = analysis
+        self._analysis_key = key
+        self.diagnostics = analysis.diagnostics
+        if self.check == "strict":
+            violations = analysis.strict_violations()
+            if violations:
+                raise ProgramAnalysisError(
+                    f"program rejected by static analysis ({len(violations)} "
+                    "finding(s)): " + "; ".join(str(d) for d in violations[:3])
+                    + ("; ..." if len(violations) > 3 else ""),
+                    diagnostics=violations,
+                )
+        else:
+            for diagnostic in analysis.errors():
+                warnings.warn(str(diagnostic), ProgramAnalysisWarning, stacklevel=3)
+        self._effective = analysis.pruned_program()
+        if (self._strata_rules is not None
+                and tuple(self._effective.rules) != self._strata_rules):
+            # Pruning changed the rule set the current strata were built
+            # from — rebuild them now so counters stay consistent.
+            self._refresh_strata(self._program_key())
+        return analysis
+
+    def _effective_program(self):
+        """The program evaluation actually runs: the analyzer's pruned copy
+        when a check found never-fire rules, the original otherwise (they
+        share the fact list either way)."""
+        return self._effective if self._effective is not None else self.program
+
+    def _refresh_strata(self, key):
+        self._strata = self._stratify()
+        self._strata_key = key
+        self._strata_rules = tuple(self._effective_program().rules)
 
     # -- public API ---------------------------------------------------------
     def least_model(self):
@@ -257,6 +359,7 @@ class DatalogEngine:
         ``holds()``) re-run the fixpoint only when the program has gained
         facts or rules since the last computation.
         """
+        self.ensure_checked()
         key = self._program_key()
         if self._model is not None and self._model_key == key:
             return self._model
@@ -269,8 +372,7 @@ class DatalogEngine:
             if self._model is not None and self._model_key == key:
                 return self._model
         if self._strata_key != key:
-            self._strata = self._stratify()
-            self._strata_key = key
+            self._refresh_strata(key)
         self.statistics = EvaluationStatistics()
         self.planner_statistics = JoinStatistics()
         if self.strategy == "parallel":
@@ -305,10 +407,10 @@ class DatalogEngine:
         """
         if self.strategy not in ("indexed", "parallel"):
             raise ValueError("least_index requires the indexed or parallel strategy")
+        self.ensure_checked()
         key = self._program_key()
         if self._strata_key != key:
-            self._strata = self._stratify()
-            self._strata_key = key
+            self._refresh_strata(key)
         self.statistics = EvaluationStatistics()
         self.planner_statistics = JoinStatistics()
         if self.strategy == "parallel":
@@ -342,6 +444,7 @@ class DatalogEngine:
         """
         if mode not in QUERY_MODES:
             raise ValueError(f"mode must be one of {', '.join(QUERY_MODES)}")
+        self.ensure_checked()
         from repro.datalog import magic
 
         adornment = magic.adornment_of(atom)
@@ -432,14 +535,19 @@ class DatalogEngine:
         template_key = (atom.predicate, arity, adornment)
         template = self._magic_templates.get(template_key)
         if template is None:
-            template = magic.plan(self.program, atom)
+            # Plan against the effective (never-fire-pruned) program so the
+            # rewrite never specializes provably dead rules.
+            template = magic.plan(self._effective_program(), atom)
             self._magic_templates[template_key] = template
         magic_program = magic.instantiate(template, self.program, atom)
         # shards/workers are None under the sequential strategies, which the
-        # constructor accepts as "not set".
+        # constructor accepts as "not set".  The rewrite output is generated
+        # code — full of benign duplicates by construction — so the inner
+        # engine skips the static analyzer.
         inner = DatalogEngine(
             magic_program.program, strategy=self.strategy, planner=self.planner,
             shards=self.shards, workers=self.workers, storage=self.storage,
+            check="off",
         )
         model = inner.least_model()
         answers = magic_program.answers(model)
@@ -475,8 +583,7 @@ class DatalogEngine:
         """
         key = self._program_key()
         if self._strata_key != key:
-            self._strata = self._stratify()
-            self._strata_key = key
+            self._refresh_strata(key)
         if self._magic_key != key:
             # The magic caches answer for a different program content —
             # drop them now rather than trusting the next query's check.
@@ -493,9 +600,8 @@ class DatalogEngine:
         return (tuple(self.program.facts), tuple(self.program.rules))
 
     def _stratum_rules(self, stratum):
-        return [
-            r for r in self.program.rules if (r.head.predicate, r.head.arity) in stratum
-        ]
+        rules = self._effective_program().rules
+        return [r for r in rules if (r.head.predicate, r.head.arity) in stratum]
 
     def _evaluate_scanning(self):
         database = {fact.atom for fact in self.program.facts}
@@ -527,6 +633,12 @@ class DatalogEngine:
         resulting :class:`~repro.datalog.columnar.RowStore` (the engine's
         interner decodes it)."""
         interner = self.interner
+        if self._analysis is not None:
+            # Pre-validate the columnar layout against the analyzer's
+            # inferred signatures: one arity per predicate name, or the
+            # fixed-width id columns would fork (raises with the DL003
+            # diagnostics attached).
+            self._analysis.validate_columns(interner)
         store = RowStore()
         encode = interner.encode_atom
         add_row = store.add_row
@@ -593,32 +705,26 @@ class DatalogEngine:
         grouping (:meth:`ParallelScheduler.waves
         <repro.datalog.parallel.ParallelScheduler.waves>`).  The
         stratifiability check happens here and is exact: the program is
-        rejected precisely when a negative edge lies inside a component.
+        rejected precisely when a negative edge lies inside a component —
+        the error spells out the offending cycle as a predicate path
+        (computed by the static analyzer's
+        :func:`~repro.datalog.analyze.negative_cycle`), e.g.
+        ``p/1 -not-> q/1 -> p/1``.
         """
-        idb = self.program.idb_predicates()
-        positive_edges = defaultdict(set)
-        negative_edges = defaultdict(set)
-        if not idb:
-            return [], {}, positive_edges, negative_edges
-        for rule in self.program.rules:
-            head_key = (rule.head.predicate, rule.head.arity)
-            for literal in rule.body:
-                body_key = (literal.atom.predicate, literal.atom.arity)
-                if body_key not in idb:
-                    continue
-                if literal.positive:
-                    positive_edges[head_key].add(body_key)
-                else:
-                    negative_edges[head_key].add(body_key)
-        successors = {p: positive_edges[p] | negative_edges[p] for p in idb}
-        components, component_of = _strongly_connected_components(idb, successors)
+        components, component_of, positive_edges, negative_edges = condensation_of(
+            self._effective_program().rules
+        )
         for head, dependencies in negative_edges.items():
             for dependency in dependencies:
                 if component_of[head] == component_of[dependency]:
+                    cycle = negative_cycle(
+                        head, dependency,
+                        components[component_of[head]],
+                        positive_edges, negative_edges,
+                    )
                     raise StratificationError(
-                        "program is not stratifiable: "
-                        f"{head[0]}/{head[1]} depends negatively on "
-                        f"{dependency[0]}/{dependency[1]} inside a recursive component"
+                        "program is not stratifiable: negation inside a "
+                        f"recursive component — {format_cycle(cycle)}"
                     )
         return components, component_of, positive_edges, negative_edges
 
@@ -928,56 +1034,10 @@ def _ground_negative(literal, binding):
     return Atom(literal.atom.predicate, tuple(args))
 
 
-def _strongly_connected_components(nodes, successors):
-    """Iterative Tarjan SCC.  Returns ``(components, component_of)`` with the
-    components emitted dependencies-first (every edge leaving a component
-    points at an earlier one)."""
-    counter = 0
-    indices = {}
-    lowlink = {}
-    on_stack = set()
-    stack = []
-    components = []
-    component_of = {}
-    for start in nodes:
-        if start in indices:
-            continue
-        indices[start] = lowlink[start] = counter
-        counter += 1
-        stack.append(start)
-        on_stack.add(start)
-        work = [(start, iter(successors[start]))]
-        while work:
-            node, iterator = work[-1]
-            descended = False
-            for successor in iterator:
-                if successor not in indices:
-                    indices[successor] = lowlink[successor] = counter
-                    counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append((successor, iter(successors[successor])))
-                    descended = True
-                    break
-                if successor in on_stack:
-                    lowlink[node] = min(lowlink[node], indices[successor])
-            if descended:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == indices[node]:
-                component = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    component_of[member] = len(components)
-                    if member == node:
-                        break
-                components.append(component)
-    return components, component_of
+# The one SCC routine of the Datalog layer now lives with the rest of the
+# graph analyses in :mod:`repro.datalog.analyze`; the historical name is
+# kept for in-tree importers (the incremental maintainer condenses with it).
+_strongly_connected_components = strongly_connected_components
 
 
 def _match(pattern_args, fact_args, binding):

@@ -356,6 +356,14 @@ class MaterializedModel:
         derivation counting).  Called on construction and whenever the
         program was mutated other than through :meth:`apply`."""
         self.statistics.rebuilds += 1
+        # Let the wrapped engine's static analyzer see the (possibly
+        # mutated) program once per rebuild: diagnostics land on
+        # ``engine.diagnostics`` and a strict engine rejects a defective
+        # program before any maintenance state is built.  Maintenance
+        # itself works from the full rule set — never-fire rules cost
+        # nothing here (their joins are vacuous) and the maintained model
+        # is identical either way.
+        self.engine.ensure_checked()
         self._analyze()
         self._schedules = {}
         self._maintenance_stats = None

@@ -25,6 +25,24 @@ from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter
 
 
+def constant_kind(parameter):
+    """The lexical *kind* of a constant — ``"int"`` when its name parses as
+    an integer, ``"symbol"`` otherwise.
+
+    Parameters carry no type information (they are name-only terms), so this
+    lexical classification is what the static analyzer's per-predicate column
+    signatures are built from: a column whose facts mix kinds (``edge(1, b)``
+    next to ``edge(n1, b)``) almost always indicates two encodings of the
+    same domain leaking into one relation, and is reported as a
+    kind-conflict diagnostic before the ids ever reach the columnar store.
+    """
+    try:
+        int(parameter.name)
+    except (TypeError, ValueError):
+        return "symbol"
+    return "int"
+
+
 def fast_atom(predicate, args):
     """Construct a ground :class:`~repro.logic.syntax.Atom` without
     re-validating its arguments — the decode path of the columnar storage

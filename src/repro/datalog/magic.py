@@ -266,7 +266,11 @@ def plan(program, goal):
         # here to keep module loading cycle-free.
         from repro.datalog.engine import DatalogEngine
 
-        DatalogEngine(collected)
+        # check="off": the rewrite is generated code (benign duplicates by
+        # construction) and only stratifiability is in question here — the
+        # constructor's exact check raises StratificationError, whose
+        # message now spells out the offending negative cycle.
+        DatalogEngine(collected, check="off")
     except StratificationError as error:
         raise MagicRewriteError(
             f"magic-set rewrite of goal {goal} is not stratifiable "
@@ -425,7 +429,7 @@ def answer(program, goal, strategy="indexed", planner="histogram",
     magic_program = rewrite(program, goal)
     engine = DatalogEngine(
         magic_program.program, strategy=strategy, planner=planner,
-        shards=shards, workers=workers,
+        shards=shards, workers=workers, check="off",
     )
     model = engine.least_model()
     return magic_program.answers(model), magic_program, engine

@@ -262,7 +262,10 @@ class ParallelScheduler:
         if not components:
             return []
         rules_for = {}
-        for rule in engine.program.rules:
+        # The effective program: the engine's static analysis may have
+        # pruned never-fire rules, and the waves must schedule what the
+        # sequential strategies would evaluate.
+        for rule in engine._effective_program().rules:
             rules_for.setdefault((rule.head.predicate, rule.head.arity), []).append(rule)
         # Components are emitted dependencies-first by Tarjan, so one pass
         # computes longest-path levels.

@@ -70,25 +70,17 @@ class DatalogRule:
         self._check_safety()
 
     def _check_safety(self):
-        positive_variables = set()
-        for literal in self.body:
-            if literal.positive:
-                positive_variables |= literal.variables()
-        head_variables = {a for a in self.head.args if isinstance(a, Variable)}
-        unsafe = head_variables - positive_variables
-        if unsafe:
+        # Delegated to the static analyzer so that construction-time
+        # rejection and `analyze_program` linting share one per-variable
+        # message format (rule text + offending variable).  Imported lazily:
+        # analyze imports this module at load time, not the reverse.
+        from repro.datalog.analyze import rule_safety
+
+        diagnostics = rule_safety(self)
+        if diagnostics:
             raise UnsafeRuleError(
-                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} do not "
-                "occur in a positive body literal"
+                "; ".join(d.message for d in diagnostics), diagnostics=diagnostics
             )
-        for literal in self.body:
-            if not literal.positive:
-                loose = literal.variables() - positive_variables
-                if loose:
-                    raise UnsafeRuleError(
-                        f"unsafe rule: negated literal {literal} uses variables "
-                        f"{sorted(v.name for v in loose)} not bound by a positive literal"
-                    )
 
     def is_fact(self):
         """True when the rule has an empty body (a ground head stored in
@@ -115,6 +107,11 @@ class DatalogProgram:
     def __init__(self, facts=(), rules=()):
         self.facts = []
         self.rules = []
+        # Declared output predicates (``(name, arity)`` pairs): the static
+        # analyzer's reachability checks treat everything that cannot feed
+        # an output as dead code.  Empty means "infer the outputs" — every
+        # consumerless predicate counts, so nothing is ever flagged.
+        self.outputs = set()
         for fact in facts:
             self.add_fact(fact)
         for rule in rules:
@@ -163,6 +160,19 @@ class DatalogProgram:
             else:
                 raise TypeError(f"cannot interpret body item {item!r}")
         return self.add_rule(DatalogRule(head, tuple(literals)))
+
+    def declare_output(self, predicate, arity):
+        """Declare ``predicate/arity`` an *output* of the program.
+
+        Outputs drive the static analyzer's dead-code reachability checks
+        (:mod:`repro.datalog.analyze`): with at least one declaration,
+        rules and predicates that cannot contribute to any output are
+        reported as dead (``DL008``/``DL009``).  Declarations never change
+        evaluation — the engine's dead-rule pruning stays restricted to
+        rules that provably cannot fire.
+        """
+        self.outputs.add((predicate, int(arity)))
+        return self
 
     # -- inspection ---------------------------------------------------------
     def predicates(self):

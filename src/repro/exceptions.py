@@ -64,7 +64,33 @@ class StratificationError(ReproError):
 class UnsafeRuleError(ReproError):
     """Raised when a Datalog rule violates range restriction (safety):
     every variable of the head and of every negated body literal must occur
-    in some positive body literal."""
+    in some positive body literal.  ``diagnostics`` carries the structured
+    :class:`~repro.datalog.analyze.Diagnostic` objects (one per unbound
+    variable) that produced the message, so runtime rejection and static
+    linting report through one format."""
+
+    def __init__(self, message, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics or ())
+
+
+class ProgramAnalysisError(ReproError):
+    """Raised by the static analyzer (:mod:`repro.datalog.analyze`) when a
+    program is rejected under ``check="strict"`` — or by the columnar
+    evaluation path when the analysis signatures it was handed no longer
+    describe the program's facts.  ``diagnostics`` carries the structured
+    :class:`~repro.datalog.analyze.Diagnostic` objects behind the message."""
+
+    def __init__(self, message, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics or ())
+
+
+class ProgramAnalysisWarning(UserWarning):
+    """Emitted (via :mod:`warnings`) when ``check="warn"`` — the engine
+    default — finds error-severity diagnostics but evaluation proceeds
+    anyway; ``check="strict"`` turns the same findings into
+    :class:`ProgramAnalysisError`."""
 
 
 class MagicRewriteError(ReproError):

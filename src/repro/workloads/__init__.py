@@ -21,7 +21,9 @@ from repro.workloads.employees import (
     employee_queries,
 )
 from repro.workloads.generators import (
+    WORKLOAD_PROGRAMS,
     chain_datalog_program,
+    independent_components_program,
     join_chain_program,
     random_elementary_database,
     random_normal_query,
@@ -32,7 +34,9 @@ from repro.workloads.generators import (
 
 __all__ = [
     "SECTION1_QUERIES",
+    "WORKLOAD_PROGRAMS",
     "chain_datalog_program",
+    "independent_components_program",
     "employee_constraints",
     "employee_database",
     "employee_queries",

@@ -494,3 +494,19 @@ def join_chain_program(relations=3, rows=200, distinct_values=40, seed=0):
     )
     program.add_rule(DatalogRule(Atom("joined", (variables[0], variables[-1])), body))
     return program
+
+
+#: Registry of the Datalog *program* generators by stable name — the
+#: resolution table of the analyzer CLI's ``--workload`` flag
+#: (``python -m repro.datalog.analyze --workload transitive-closure``) and
+#: of anything else that wants to enumerate the lintable program builders.
+#: Every builder takes only integer keyword parameters and returns a
+#: :class:`~repro.datalog.program.DatalogProgram`; each is covered by the
+#: lints-clean-under-strict property test.
+WORKLOAD_PROGRAMS = {
+    "chain": chain_datalog_program,
+    "transitive-closure": transitive_closure_program,
+    "independent-components": independent_components_program,
+    "same-generation": same_generation_program,
+    "join-chain": join_chain_program,
+}

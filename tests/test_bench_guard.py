@@ -2,9 +2,9 @@
 
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
 against; these tests fail when it goes stale (a strategy, the incremental
-mode, the magic-set query section, the sharded parallel section or the
-columnar-vs-objects storage section is missing, model/answer agreement was
-not verified, the incremental speedup slipped below its 10x target, the
+mode, the magic-set query section, the sharded parallel section, the
+columnar-vs-objects storage section or the static-analysis section is
+missing, model/answer agreement was not verified, the incremental speedup slipped below its 10x target, the
 magic point-query speedup below its 5x target or the columnar fixpoint
 speedup / peak-memory advantage below its 3x / <1x targets, or cells were
 timed with fewer than 3 repeats) or when indexed evaluation, magic-set
@@ -155,6 +155,35 @@ def test_structure_check_catches_storage_memory_regression(report):
     ]
     assert any(
         "peak memory is not below" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_missing_analysis_section(report):
+    stale = dict(report)
+    stale.pop("analysis", None)
+    assert any(
+        "static-analysis section" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_dirty_lint_rows(report):
+    stale = dict(report)
+    stale["analysis"] = {
+        **report["analysis"],
+        "lint": [{**row, "findings": 2} for row in report["analysis"]["lint"]],
+    }
+    assert any("lint clean" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unverified_pruning(report):
+    stale = dict(report)
+    stale["analysis"] = {
+        **report["analysis"],
+        "pruning": {**report["analysis"]["pruning"], "models_identical": False},
+    }
+    assert any(
+        "check='off' and check='warn'" in p
+        for p in check_bench.structure_problems(stale)
     )
 
 

@@ -88,3 +88,13 @@ def test_columnar_storage_example(capsys):
     assert "decodes back: True" in output
     assert "columnar MaterializedModel after an insert: True" in output
     assert "parallel columnar model identical: True" in output
+
+
+def test_program_analysis_example(capsys):
+    _load("program_analysis").main()
+    output = capsys.readouterr().out
+    assert "error[DL001]" in output and "warning[DL008]" in output
+    assert "strict mode rejected the program: 6 findings" in output
+    assert "warn mode pruned 1 dead rule(s) of 3 before evaluation" in output
+    assert "least model unchanged by analysis and pruning: True" in output
+    assert "p/1 -not-> q/1 -> p/1" in output
