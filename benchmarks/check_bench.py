@@ -23,7 +23,11 @@ recorded on a transitive-closure row, include the columnar-vs-objects
 columnar fixpoint speedup and the peak-memory advantage holding on the
 largest row, include the static-analysis section (analyzer timings with
 zero findings on the shipped generators, and the dead-rule pruning cell
-with ``check="off"``-vs-``check="warn"`` model agreement verified), and
+with ``check="off"``-vs-``check="warn"`` model agreement verified),
+include the ``violations`` section (incremental commit-time constraint
+checking through the maintained violation view against the from-scratch
+checker: verdict/witness agreement verified, the >= 5x speedup holding on
+the HR comparison row, and view-only scale rows ending satisfied), and
 have been timed best-of-3 or better (``repeats``) — a PR that adds a mode,
 strategy or storage backend without re-running ``run_bench.py`` fails
 here.
@@ -36,7 +40,9 @@ full materialization on the committed quick query row, and
 (``parallel_regression_problems``) the parallel strategy against indexed on
 a committed parallel row, and (``storage_regression_problems``) the
 columnar ``least_index()`` fixpoint against object storage on a committed
-storage row, with the same tolerance.  Comparing *ratios*
+storage row, and (``violations_regression_problems``) one incremental
+view check against one from-scratch constraint check on the committed HR
+comparison row, with the same tolerance.  Comparing *ratios*
 keeps the checks machine-independent; the 2x tolerance absorbs scheduler
 noise.  By default the rows re-measured are the largest ones cheap enough
 for every test run (committed semi-naive cell under ~2 s, committed
@@ -78,6 +84,13 @@ STORAGE_SPEEDUP_TARGET = 3.0
 #: storage regression row: skip rows whose committed objects fixpoint cell
 #: is slower
 STORAGE_SECONDS_CAP = 1.0
+#: the committed incremental-vs-scratch constraint-checking speedup must
+#: stay at or above this on the HR comparison row
+VIOLATION_SPEEDUP_TARGET = 5.0
+#: violations regression row: skip when the committed scratch check mean is
+#: slower (the from-scratch checker is super-quadratic in the EDB, so the
+#: re-measured row must stay tiny)
+VIOLATIONS_SECONDS_CAP = 5.0
 #: every recorded ``seconds`` must be the best of at least this many runs
 MIN_REPEATS = 3
 
@@ -212,6 +225,52 @@ def structure_problems(report):
                 f"columnar peak memory is not below object storage on the "
                 f"largest storage row (objects/columnar ratio {memory_ratio})"
             )
+    violations = report.get("violations")
+    if violations is None:
+        problems.append(
+            "missing violation-view constraint-checking section — "
+            "re-run benchmarks/run_bench.py"
+        )
+    else:
+        comparison = violations.get("comparison")
+        if not comparison:
+            problems.append("violations section has no comparison row")
+        else:
+            if not comparison.get("verdicts_identical", False):
+                problems.append(
+                    "violations comparison row did not verify verdict/witness "
+                    "agreement between the view and the from-scratch checker"
+                )
+            speedup = comparison.get("speedup_incremental_vs_scratch")
+            if speedup is None or speedup < VIOLATION_SPEEDUP_TARGET:
+                problems.append(
+                    f"incremental violation-check speedup {speedup} is below "
+                    f"the {VIOLATION_SPEEDUP_TARGET}x target on the HR "
+                    "comparison row"
+                )
+            if not comparison.get("compiled_constraints"):
+                problems.append(
+                    "violations comparison row compiled no constraints — the "
+                    "view answered nothing incrementally"
+                )
+        scale_rows = violations.get("scale") or []
+        if not scale_rows:
+            problems.append(
+                "violations section has no view-only scale rows — the view "
+                "must be exercised at sizes the from-scratch checker cannot "
+                "reach"
+            )
+        for row in scale_rows:
+            if not row.get("satisfied", False):
+                problems.append(
+                    f"violations scale row {row.get('params')} ended with "
+                    "violations on the always-satisfiable HR stream"
+                )
+            for field in ("build_seconds", "check_mean_seconds", "commit_mean_seconds"):
+                if row.get(field) is None:
+                    problems.append(
+                        f"violations scale row {row.get('params')} lacks {field}"
+                    )
     analysis = report.get("analysis")
     if analysis is None:
         problems.append(
@@ -463,6 +522,69 @@ def storage_regression_problems(report, full=False):
     return []
 
 
+def violations_regression_problems(report, full=False):
+    """Re-measure one incremental-vs-scratch constraint check on the
+    committed HR comparison row; return problems when the measured speedup
+    regressed more than ``REGRESSION_TOLERANCE``x against the committed
+    one.  The row is skipped (with a problem) only when the committed
+    scratch mean exceeds ``VIOLATIONS_SECONDS_CAP`` — the from-scratch
+    checker is super-quadratic in the EDB, so only a tiny row is cheap
+    enough to re-time on every test run (``full`` re-times it regardless)."""
+    comparison = (report.get("violations") or {}).get("comparison")
+    if not comparison:
+        return ["no committed violations comparison row suitable for re-measurement"]
+    scratch_committed = comparison["scratch_check_mean_seconds"]
+    if not full and scratch_committed > VIOLATIONS_SECONDS_CAP:
+        return [
+            f"committed violations comparison row is too slow to re-measure "
+            f"(scratch mean {scratch_committed}s > {VIOLATIONS_SECONDS_CAP}s cap)"
+        ]
+    committed = scratch_committed / max(
+        comparison["incremental_check_mean_seconds"], 1e-9
+    )
+    from repro.db.database import EpistemicDatabase
+    from repro.workloads.constraints import (
+        constraint_update_stream,
+        hr_constraints,
+        hr_facts,
+    )
+
+    params = comparison["params"]
+    database = EpistemicDatabase(
+        hr_facts(employees=params["employees"]),
+        constraints=hr_constraints(),
+        constraint_checking="incremental",
+    )
+    view = database.violation_view()
+    insertions, deletions = next(
+        iter(constraint_update_stream(entities=params["employees"], batches=1,
+                                      churn=params["churn"]))
+    )
+    # The incremental check is tiny (~1 ms), so best-of-3 keeps the ratio
+    # stable; the scratch check is seconds — one run suffices.
+    incremental_best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        view.preview_report(insertions, deletions)
+        elapsed = time.perf_counter() - start
+        if incremental_best is None or elapsed < incremental_best:
+            incremental_best = elapsed
+    start = time.perf_counter()
+    database._checker.check_update(
+        database.sentences(), added=insertions, removed=deletions,
+        constraints=database.constraints(),
+    )
+    scratch_seconds = time.perf_counter() - start
+    measured = scratch_seconds / max(incremental_best, 1e-9)
+    if measured < committed / REGRESSION_TOLERANCE:
+        return [
+            f"incremental constraint checking regressed: measured speedup "
+            f"{measured:.0f}x vs committed {committed:.0f}x on "
+            f"{comparison['facts']} HR facts (tolerance {REGRESSION_TOLERANCE}x)"
+        ]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", type=pathlib.Path, default=BENCH_PATH)
@@ -482,6 +604,7 @@ def main(argv=None):
         problems += query_regression_problems(report, full=args.full)
         problems += parallel_regression_problems(report, full=args.full)
         problems += storage_regression_problems(report, full=args.full)
+        problems += violations_regression_problems(report, full=args.full)
     for problem in problems:
         print(f"FAIL: {problem}")
     if not problems:

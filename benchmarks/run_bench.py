@@ -14,7 +14,12 @@ times the sharded parallel strategy against indexed across shard counts (the
 GIL build it hovers around 1x and the section mostly guards overhead), and
 races the columnar interned storage backend against object-graph storage on
 the indexed fixpoint (the ``storage`` section — ``least_index()`` seconds
-and peak memory per backend, fact-for-fact equivalence verified).  Every
+and peak memory per backend, fact-for-fact equivalence verified), and
+replays 1%-churn constraint-update streams against the scaled HR workload
+(the ``violations`` section — commit-time checking through the maintained
+violation view against the from-scratch ``IntegrityChecker``, verdict and
+witness agreement verified per batch, plus view-only rows at sizes the
+from-scratch baseline cannot reach).  Every
 timed cell is the best of ``--repeats`` runs (default 3) and carries a
 tracemalloc peak-memory figure measured in a separate traced pass.  The
 JSON it writes is the perf trajectory future PRs diff against
@@ -40,6 +45,9 @@ Usage::
                                                    # parallel section
     python benchmarks/run_bench.py --no-storage    # skip the columnar-vs-
                                                    # objects storage section
+    python benchmarks/run_bench.py --no-violations # skip the violation-view
+                                                   # constraint-checking
+                                                   # section
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
 nested-loop joins are the quadratic-and-worse baseline the ablation exists to
@@ -688,6 +696,199 @@ def run_analysis_bench(lint_grid=None, repeats=3, dead_rules=24,
     return section
 
 
+#: the violations section's comparison row: small on purpose — the
+#: from-scratch checker grounds the epistemic reduction over the whole EDB
+#: (super-quadratic in practice: ~0.5 s at 85 HR facts, ~2 s at 135, ~18 s
+#: at 310), so the honest head-to-head must run where scratch is still
+#: feasible.  The incremental view answers the same checks in ~1 ms
+#: regardless, which is the point of the section.
+VIOLATIONS_COMPARISON = dict(employees=25, batches=3, churn=0.01)
+#: view-only scale rows: the regime the view exists for (hundreds of
+#: thousands of facts, where a single from-scratch check would take hours).
+VIOLATIONS_SCALE_GRID = [
+    dict(employees=20000, batches=5, churn=0.01),
+    dict(employees=40000, batches=5, churn=0.01),
+]
+
+QUICK_VIOLATIONS_COMPARISON = dict(employees=15, batches=2, churn=0.01)
+QUICK_VIOLATIONS_SCALE_GRID = [dict(employees=2000, batches=3, churn=0.01)]
+
+
+def run_violations_bench(comparison=None, scale_grid=None):
+    """Time commit-time constraint checking through the maintained
+    :class:`~repro.constraints.views.ViolationView` against the from-scratch
+    :class:`~repro.constraints.checker.IntegrityChecker` on the scaled HR
+    workload.
+
+    *comparison*: per update batch of the 1%-churn stream, the same check is
+    run both ways — ``view.preview_report`` (the O(delta) peek commits use)
+    and ``checker.check_update`` without a view (relevance filter over a
+    from-scratch re-check) — verifying the verdicts agree before any timing
+    is trusted; a violating probe (an employee told without a social
+    security number) additionally verifies both sides reject with identical
+    witnesses.  The batch is then committed so the stream advances and the
+    view is maintained.
+
+    *scale*: view-only rows at the sizes the from-scratch baseline cannot
+    reach, recording the one-time view build, the per-batch O(delta) check
+    and the full commit (check + apply + view maintenance).
+    """
+    from repro.db.database import EpistemicDatabase
+    from repro.logic.builders import atom, param
+    from repro.workloads.constraints import (
+        constraint_update_stream,
+        hr_constraints,
+        hr_facts,
+    )
+
+    def build_database(employees):
+        facts = hr_facts(employees=employees)
+        database = EpistemicDatabase(
+            facts, constraints=hr_constraints(), constraint_checking="incremental"
+        )
+        start = time.perf_counter()
+        view = database.violation_view()
+        build_seconds = time.perf_counter() - start
+        return database, view, len(facts), build_seconds
+
+    def commit_batch(database, insertions, deletions):
+        transaction = database.transaction()
+        for sentence in insertions:
+            transaction.tell(sentence)
+        for sentence in deletions:
+            transaction.retract(sentence)
+        start = time.perf_counter()
+        transaction.commit()
+        return time.perf_counter() - start
+
+    def witness_sets(report):
+        return sorted(
+            (str(violation.constraint), sorted(violation.witnesses))
+            for violation in report.violations
+        )
+
+    params = comparison or VIOLATIONS_COMPARISON
+    database, view, facts, build_seconds = build_database(params["employees"])
+    stream = list(
+        constraint_update_stream(
+            entities=params["employees"],
+            batches=params["batches"],
+            churn=params["churn"],
+        )
+    )
+    incremental_seconds = []
+    scratch_seconds = []
+    verdicts_identical = True
+    for insertions, deletions in stream:
+        gc.collect()
+        start = time.perf_counter()
+        incremental_report = view.preview_report(insertions, deletions)
+        incremental_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        scratch_report, _ = database._checker.check_update(
+            database.sentences(),
+            added=insertions,
+            removed=deletions,
+            constraints=database.constraints(),
+        )
+        scratch_seconds.append(time.perf_counter() - start)
+        if incremental_report.satisfied != scratch_report.satisfied:
+            verdicts_identical = False
+        if witness_sets(incremental_report) != witness_sets(scratch_report):
+            verdicts_identical = False
+        commit_batch(database, insertions, deletions)
+    # A violating probe — an employee with no known ss number — must be
+    # rejected by both sides with identical witnesses (untimed: correctness
+    # evidence, not a perf cell).
+    probe = [atom("emp", param("Eprobe"))]
+    probe_incremental = view.preview_report(probe, [])
+    probe_scratch, _ = database._checker.check_update(
+        database.sentences(), added=probe, removed=[],
+        constraints=database.constraints(),
+    )
+    if probe_incremental.satisfied or probe_scratch.satisfied:
+        verdicts_identical = False
+    if witness_sets(probe_incremental) != witness_sets(probe_scratch):
+        verdicts_identical = False
+    if not verdicts_identical:
+        raise SystemExit(
+            f"violation view disagrees with the from-scratch checker on the "
+            f"HR comparison row {params}"
+        )
+    incremental_mean = sum(incremental_seconds) / len(incremental_seconds)
+    scratch_mean = sum(scratch_seconds) / len(scratch_seconds)
+    section = {
+        "comparison": {
+            "workload": "hr",
+            "params": params,
+            "facts": facts,
+            "constraints": len(database.constraints()),
+            "compiled_constraints": len(view.compiled.compiled),
+            "fallback_constraints": len(view.compiled.fallbacks),
+            "batches": len(stream),
+            "build_seconds": round(build_seconds, 6),
+            "incremental_check_mean_seconds": round(incremental_mean, 6),
+            "scratch_check_mean_seconds": round(scratch_mean, 6),
+            "speedup_incremental_vs_scratch": round(
+                scratch_mean / max(incremental_mean, 1e-9), 2
+            ),
+            "verdicts_identical": verdicts_identical,
+        },
+        "scale": [],
+    }
+    cell = section["comparison"]
+    print(
+        f"violations comparison {params} ({facts} facts): incremental check "
+        f"{incremental_mean * 1000:.2f} ms vs scratch {scratch_mean * 1000:.0f} ms "
+        f"-> {cell['speedup_incremental_vs_scratch']}x, verdicts identical"
+    )
+
+    for params in scale_grid or VIOLATIONS_SCALE_GRID:
+        database, view, facts, build_seconds = build_database(params["employees"])
+        stream = list(
+            constraint_update_stream(
+                entities=params["employees"],
+                batches=params["batches"],
+                churn=params["churn"],
+            )
+        )
+        check_seconds = []
+        commit_seconds = []
+        batch_facts = 0
+        for insertions, deletions in stream:
+            batch_facts = max(batch_facts, len(insertions) + len(deletions))
+            gc.collect()
+            start = time.perf_counter()
+            view.preview_report(insertions, deletions)
+            check_seconds.append(time.perf_counter() - start)
+            commit_seconds.append(commit_batch(database, insertions, deletions))
+        satisfied = view.check(with_witnesses=False).satisfied
+        row = {
+            "workload": "hr",
+            "params": params,
+            "facts": facts,
+            "batch_facts": batch_facts,
+            "batches": len(stream),
+            "build_seconds": round(build_seconds, 6),
+            "check_mean_seconds": round(sum(check_seconds) / len(check_seconds), 6),
+            "commit_mean_seconds": round(sum(commit_seconds) / len(commit_seconds), 6),
+            "satisfied": satisfied,
+        }
+        if not satisfied:
+            raise SystemExit(
+                f"violation view reports violations after replaying the "
+                f"always-satisfiable HR stream at {params}"
+            )
+        section["scale"].append(row)
+        print(
+            f"violations scale {params} ({facts} facts, batches of "
+            f"{batch_facts}): build {build_seconds:.1f} s, check "
+            f"{row['check_mean_seconds'] * 1000:.0f} ms, commit "
+            f"{row['commit_mean_seconds'] * 1000:.0f} ms"
+        )
+    return section
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -727,9 +928,12 @@ def main(argv=None):
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless indexed is >= 5x faster than "
                              "semi-naive on the largest transitive-closure workload, "
-                             "incremental apply is >= 10x faster than recompute, and "
+                             "incremental apply is >= 10x faster than recompute, "
                              "magic-set point queries are >= 5x faster than full "
-                             "materialization on the largest query row")
+                             "materialization on the largest query row, and "
+                             "incremental commit-time constraint checking is "
+                             ">= 5x faster than the from-scratch checker on the "
+                             "HR comparison row")
     parser.add_argument("--experiments", action="store_true",
                         help="also run the E7/E9 pytest benchmarks")
     parser.add_argument("--no-incremental", action="store_true",
@@ -742,6 +946,9 @@ def main(argv=None):
                         help="skip the columnar-vs-objects storage section")
     parser.add_argument("--no-analysis", action="store_true",
                         help="skip the static-analyzer section")
+    parser.add_argument("--no-violations", action="store_true",
+                        help="skip the incremental constraint-checking "
+                             "(violation view) section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -789,6 +996,13 @@ def main(argv=None):
             QUICK_ANALYSIS_LINT_GRID if args.quick else ANALYSIS_LINT_GRID,
             repeats=args.repeats,
             dead_rules=8 if args.quick else 24,
+        )
+    if not args.no_violations:
+        report["violations"] = run_violations_bench(
+            comparison=QUICK_VIOLATIONS_COMPARISON if args.quick
+            else VIOLATIONS_COMPARISON,
+            scale_grid=QUICK_VIOLATIONS_SCALE_GRID if args.quick
+            else VIOLATIONS_SCALE_GRID,
         )
     if args.experiments:
         report["experiments"] = run_experiments()
@@ -858,6 +1072,28 @@ def main(argv=None):
             raise SystemExit(
                 f"--check failed: columnar peak memory is not below object "
                 f"storage (ratio {memory_ratio})"
+            )
+    if "violations" in report and report["violations"].get("comparison"):
+        comparison = report["violations"]["comparison"]
+        violations_speedup = comparison["speedup_incremental_vs_scratch"]
+        scale_rows = report["violations"].get("scale") or []
+        scale_note = ""
+        if scale_rows:
+            largest = max(scale_rows, key=lambda r: r["facts"])
+            scale_note = (
+                f"; at {largest['facts']} facts the view still checks a commit "
+                f"in {largest['check_mean_seconds'] * 1000:.0f} ms"
+            )
+        print(
+            f"violations headline: incremental commit-time checking is "
+            f"{violations_speedup}x faster than the from-scratch checker on "
+            f"{comparison['facts']} HR facts at {comparison['params']['churn']:.0%} "
+            f"churn{scale_note}"
+        )
+        if args.check and (violations_speedup is None or violations_speedup < 5.0):
+            raise SystemExit(
+                f"--check failed: incremental violation-check speedup "
+                f"{violations_speedup} < 5.0"
             )
     if "analysis" in report and report["analysis"].get("lint"):
         largest = max(report["analysis"]["lint"], key=lambda r: r["facts"])

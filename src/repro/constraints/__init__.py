@@ -17,7 +17,14 @@ KFOPCE sentences and checking them is exactly query evaluation
 * :mod:`repro.constraints.checker` — an :class:`IntegrityChecker` that
   validates a database against a constraint set, reports violations with
   witnesses, and supports the incremental re-checking and procedural
-  triggers sketched in the paper's discussion section.
+  triggers sketched in the paper's discussion section;
+* :mod:`repro.constraints.compile` — the translation of modalized
+  admissible constraints into stratified Datalog *violation rules*
+  (``__violation__<id>(witness...)``), with a machine-readable fragment
+  boundary for everything that cannot be compiled;
+* :mod:`repro.constraints.views` — :class:`ViolationView`, the compiled
+  rules materialized and incrementally maintained over a database's update
+  stream, making commit-time constraint checking an O(delta) read.
 """
 
 from repro.constraints.definitions import (
@@ -38,12 +45,33 @@ from repro.constraints.library import (
     total_property,
     unique_attribute,
 )
-from repro.constraints.checker import ConstraintViolation, IntegrityChecker
+from repro.constraints.checker import (
+    ConstraintReport,
+    ConstraintViolation,
+    IntegrityChecker,
+)
+from repro.constraints.compile import (
+    CompilationFallback,
+    CompiledConstraint,
+    CompiledConstraintSet,
+    compile_constraint,
+    compile_constraints,
+    is_compilable,
+)
+from repro.constraints.views import ViolationView
 
 __all__ = [
+    "CompilationFallback",
+    "CompiledConstraint",
+    "CompiledConstraintSet",
+    "ConstraintReport",
     "ConstraintViolation",
     "IntegrityChecker",
     "SatisfactionDefinition",
+    "ViolationView",
+    "compile_constraint",
+    "compile_constraints",
+    "is_compilable",
     "disjoint_properties",
     "known_instances_typed",
     "mandatory_attribute",

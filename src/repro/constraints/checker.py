@@ -54,11 +54,20 @@ class ConstraintViolation:
 
 @dataclass(frozen=True)
 class ConstraintReport:
-    """The outcome of checking a constraint set."""
+    """The outcome of checking a constraint set.
+
+    ``fallbacks`` is populated by the violation-view path
+    (:mod:`repro.constraints.views`): one
+    :class:`~repro.constraints.compile.CompilationFallback` per constraint
+    that could not be compiled into the incremental view and was checked
+    from scratch instead — the machine-readable *reason* the ISSUE asks the
+    check result to surface.  The plain from-scratch checker always reports
+    an empty tuple (everything is "from scratch" there)."""
 
     satisfied: bool
     violations: Tuple[ConstraintViolation, ...] = ()
     checked: int = 0
+    fallbacks: Tuple = ()
 
     def __bool__(self):
         return self.satisfied
@@ -90,12 +99,13 @@ class IntegrityChecker:
         self.constraints.remove(constraint)
 
     # -- checking ----------------------------------------------------------------
-    def check(self, theory, constraints=None, with_witnesses=True):
+    def check(self, theory, constraints=None, with_witnesses=True, witness_limit=10):
         """Check *theory* against the registered (or supplied) constraints.
 
         Returns a :class:`ConstraintReport`; when *with_witnesses* is set the
-        violations carry witness tuples extracted from the negated
-        constraint.
+        violations carry up to *witness_limit* witness tuples extracted from
+        the negated constraint (``None`` lifts the cap — the differential
+        harness uses that to compare full witness sets against the view).
         """
         active = list(self.constraints if constraints is None else constraints)
         if not active:
@@ -108,7 +118,7 @@ class IntegrityChecker:
                 continue
             witnesses = ()
             if with_witnesses:
-                witnesses = self._witnesses(constraint, reducer)
+                witnesses = self._witnesses(constraint, reducer, limit=witness_limit)
             message = "" if not is_first_order(constraint) else (
                 "constraint is first-order; the paper's reading would modalize it"
             )
@@ -119,17 +129,39 @@ class IntegrityChecker:
             satisfied=not violations, violations=tuple(violations), checked=len(active)
         )
 
-    def check_update(self, theory, added=(), removed=(), constraints=None):
+    def check_update(self, theory, added=(), removed=(), constraints=None, view=None):
         """Incremental re-checking (discussion item 4): given that *theory*
         satisfied the constraints before the update, re-check only the
         constraints that mention a predicate touched by the update.
 
-        This is the classical relevance filter of Nicolas (1982); it is sound
-        for the constraint forms produced by this package because a
-        constraint whose predicates are untouched by the update cannot change
-        truth value — the models of the unchanged predicates' atoms are
-        unchanged.
+        Without a *view* this is the classical relevance filter of Nicolas
+        (1982) over a from-scratch re-check; it is sound for the constraint
+        forms produced by this package because a constraint whose predicates
+        are untouched by the update cannot change truth value — the models of
+        the unchanged predicates' atoms are unchanged.
+
+        With a *view* (a :class:`~repro.constraints.views.ViolationView`
+        maintained over the same database) the re-check becomes an O(delta)
+        read: the view previews the batch through its materialized violation
+        rules and only the constraints outside the compilable fragment are
+        re-evaluated from scratch — the returned report's ``fallbacks``
+        names them and why.
         """
+        # Mirror Transaction.commit: each staged retraction removes one
+        # occurrence from the sentence list, so a duplicated sentence stays
+        # in the previewed theory until its last occurrence is retracted.
+        pending = {}
+        for sentence in removed:
+            pending[sentence] = pending.get(sentence, 0) + 1
+        updated_theory = []
+        for sentence in theory:
+            if pending.get(sentence, 0) > 0:
+                pending[sentence] -= 1
+                continue
+            updated_theory.append(sentence)
+        updated_theory += list(added)
+        if view is not None:
+            return view.preview_report(added, removed), updated_theory
         touched = set()
         for sentence in list(added) + list(removed):
             touched |= {name for name, _ in predicates_of(sentence)}
@@ -137,7 +169,6 @@ class IntegrityChecker:
         relevant = [
             c for c in active if {name for name, _ in predicates_of(c)} & touched
         ]
-        updated_theory = [s for s in theory if s not in set(removed)] + list(added)
         report = self.check(updated_theory, constraints=relevant)
         return report, updated_theory
 

@@ -15,6 +15,19 @@ the integrity constraint".
 * triggers fire after updates; firing may enqueue further updates, which are
   applied and may fire further triggers, up to a configurable cascade depth
   (the paper's "such changes may trigger other procedures, and so on").
+
+Two firing disciplines coexist:
+
+* **polling** (:meth:`TriggerManager.fire`) — the original mechanism:
+  re-evaluate every condition against the updated database after each
+  update;
+* **delta-driven** (:meth:`TriggerManager.register_violation` +
+  :meth:`TriggerManager.watch`) — a trigger attached to a registered
+  constraint and a maintained
+  :class:`~repro.constraints.views.ViolationView`: it fires exactly once
+  per *net new* violation witness streamed off the view's maintenance
+  deltas, with no evaluation at all.  Rollbacks and rejected batches never
+  reach the view, so they never fire anything.
 """
 
 from dataclasses import dataclass, field
@@ -41,10 +54,16 @@ class Trigger:
     condition: object
     action: Callable[[object, Tuple[tuple, ...]], Optional[list]]
     enabled: bool = True
+    #: Delta-driven triggers (``register_violation``) are fired by
+    #: :meth:`TriggerManager.watch` subscriptions off violation-view deltas;
+    #: the polling :meth:`TriggerManager.fire` skips them so one trigger
+    #: never reports the same violation through both disciplines.
+    on_violation: bool = False
 
     def __str__(self):
         state = "enabled" if self.enabled else "disabled"
-        return f"Trigger({self.name}, {state})"
+        kind = "on-violation, " if self.on_violation else ""
+        return f"Trigger({self.name}, {kind}{state})"
 
 
 @dataclass
@@ -64,12 +83,53 @@ class TriggerManager:
         self.config = config
         self.max_cascade_depth = max_cascade_depth
         self.log: List[TriggerFiring] = []
+        self._watched = []
+        self._delta_depth = 0
 
     def register(self, name, condition, action):
         """Register and return a new trigger."""
         trigger = Trigger(name=name, condition=condition, action=action)
         self.triggers.append(trigger)
         return trigger
+
+    def register_violation(self, name, constraint, action):
+        """Register a delta-driven trigger tied to a registered integrity
+        *constraint*: once a view is attached with :meth:`watch`, the
+        *action* is invoked as ``action(session, witnesses)`` with exactly
+        the witness tuples that newly violate the constraint — once per net
+        violation delta, never on rollback or on a rejected batch, and with
+        no condition re-evaluation at all."""
+        trigger = Trigger(
+            name=name, condition=constraint, action=action, on_violation=True
+        )
+        self.triggers.append(trigger)
+        return trigger
+
+    def watch(self, view, session=None):
+        """Attach this manager to a
+        :class:`~repro.constraints.views.ViolationView`: its maintenance
+        deltas drive every ``on_violation`` trigger whose constraint the
+        view maintains.  *session* is the database the actions receive (and
+        cascaded assertions go to); it defaults to the view's own database.
+        Returns the subscribed listener; :meth:`unwatch` detaches it."""
+        database = view._database if session is None else session
+
+        def listener(added, removed):
+            self._fire_violation_deltas(database, view, added)
+
+        view.add_delta_listener(listener)
+        self._watched.append((view, listener))
+        return listener
+
+    def unwatch(self, view):
+        """Detach every listener previously attached to *view*."""
+        kept = []
+        for watched_view, listener in self._watched:
+            if watched_view is view:
+                view.remove_delta_listener(listener)
+            else:
+                kept.append((watched_view, listener))
+        self._watched = kept
 
     def enable(self, name, enabled=True):
         """Enable or disable a trigger by name."""
@@ -80,9 +140,11 @@ class TriggerManager:
         raise ReproError(f"no trigger named {name!r}")
 
     def fire(self, session, depth=0):
-        """Evaluate every enabled trigger against *session* (an
+        """Evaluate every enabled *polling* trigger against *session* (an
         :class:`~repro.db.database.EpistemicDatabase`), apply cascaded
-        assertions, and recurse while anything changed.
+        assertions, and recurse while anything changed.  Delta-driven
+        (``on_violation``) triggers are skipped — those fire off the watched
+        view's deltas, not by re-evaluation.
 
         Returns the list of :class:`TriggerFiring` records produced by this
         round (including cascades).
@@ -93,10 +155,13 @@ class TriggerManager:
             )
         firings = []
         pending_assertions = []
+        polling = [t for t in self.triggers if not t.on_violation]
+        if not polling:
+            return firings
         reducer = EpistemicReducer(
-            session.sentences(), config=self.config, queries=[t.condition for t in self.triggers]
+            session.sentences(), config=self.config, queries=[t.condition for t in polling]
         )
-        for trigger in self.triggers:
+        for trigger in polling:
             if not trigger.enabled:
                 continue
             condition = trigger.condition
@@ -120,4 +185,48 @@ class TriggerManager:
             for sentence in pending_assertions:
                 session.tell(sentence, check_constraints=False, fire_triggers=False)
             firings.extend(self.fire(session, depth=depth + 1))
+        return firings
+
+    def _fire_violation_deltas(self, session, view, added):
+        """Fire the ``on_violation`` triggers matching one net violation
+        delta (constraint id → newly violating witness tuples).  Cascaded
+        assertions are applied immediately; because the view is notified
+        synchronously by ``tell``, any violations they introduce re-enter
+        here — ``_delta_depth`` bounds that recursion like the polling
+        cascade depth does."""
+        if not added:
+            return []
+        if self._delta_depth > self.max_cascade_depth:
+            raise ReproError(
+                f"trigger cascade exceeded the maximum depth of {self.max_cascade_depth}"
+            )
+        firings = []
+        pending_assertions = []
+        for trigger in self.triggers:
+            if not trigger.on_violation or not trigger.enabled:
+                continue
+            try:
+                constraint_id = view.constraint_id_of(trigger.condition)
+            except KeyError:
+                continue
+            witnesses = added.get(constraint_id)
+            if not witnesses:
+                continue
+            cascaded = tuple(trigger.action(session, witnesses) or ())
+            firings.append(
+                TriggerFiring(
+                    trigger=trigger.name,
+                    witnesses=witnesses,
+                    cascaded_assertions=cascaded,
+                )
+            )
+            pending_assertions.extend(cascaded)
+        self.log.extend(firings)
+        if pending_assertions:
+            self._delta_depth += 1
+            try:
+                for sentence in pending_assertions:
+                    session.tell(sentence, check_constraints=False, fire_triggers=False)
+            finally:
+                self._delta_depth -= 1
         return firings

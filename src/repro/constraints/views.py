@@ -1,0 +1,415 @@
+"""Incrementally maintained violation views over an epistemic database.
+
+The checker makes Definition 3.5 literal — constraint checking is query
+evaluation — but re-evaluates every constraint from scratch on every check.
+A :class:`ViolationView` compiles the constraint set with
+:mod:`repro.constraints.compile` and materializes the resulting
+``__violation__<id>(witness...)`` rules through a
+:class:`~repro.datalog.incremental.MaterializedModel` over the database's
+ground-atomic EDB, subscribed to the PR 3 update listeners.  Checking then
+becomes a read:
+
+* :meth:`check` probes the maintained violation buckets — O(touched
+  buckets), no evaluation;
+* :meth:`preview_report` answers "would this batch violate anything?" at
+  commit time as a side-effect-free O(delta) peek through the incremental
+  maintenance machinery;
+* :meth:`add_delta_listener` streams *net violation deltas* (constraint id →
+  witness tuples appearing/disappearing) to subscribers —
+  :class:`~repro.constraints.triggers.TriggerManager` fires off these instead
+  of polling.
+
+Two fallback layers keep the view's verdicts identical to the from-scratch
+checker (the differential harness in ``tests/test_constraints_views.py``
+proves this):
+
+* **compile-time** — constraints outside the Datalog fragment (see the
+  boundary table in :mod:`repro.constraints.compile`) are routed to the
+  from-scratch checker; the report's ``fallbacks`` carries the
+  machine-readable reason;
+* **run-time** — the compiled rules are exact only for the Prolog-like
+  (ground-atomic) reading of the database, so a compiled constraint whose
+  predicates are touched by any *non-atomic* sentence (a disjunction, an
+  existential, ...) is also re-checked from scratch for as long as such
+  sentences are present, with reason ``non-atomic-sentences``.
+"""
+
+from repro.constraints.checker import (
+    ConstraintReport,
+    ConstraintViolation,
+    IntegrityChecker,
+)
+from repro.constraints.compile import (
+    VIOLATION_PREFIX,
+    CompilationFallback,
+    compile_constraints,
+)
+from repro.datalog.incremental import MaterializedModel
+from repro.datalog.program import DatalogProgram
+from repro.db.view import _ground_atoms, _occurrence_counts
+from repro.logic.syntax import Atom, predicates_of
+from repro.logic.terms import Parameter, Variable
+
+
+def _is_ground_atom(sentence):
+    return isinstance(sentence, Atom) and all(
+        isinstance(arg, Parameter) for arg in sentence.args
+    )
+
+
+def _predicate_names(sentence):
+    return {name for name, _ in predicates_of(sentence)}
+
+
+class ViolationView:
+    """A continuously maintained map from constraints to their violations.
+
+    Example::
+
+        db = EpistemicDatabase(facts, constraints=constraints)
+        view = ViolationView(db)
+        view.check().satisfied          # probe of the violation buckets
+        with db.transaction() as txn:
+            txn.tell("emp(Fred)")
+            report = view.preview_report(*txn.pending)   # O(delta) peek
+
+    ``strategy`` / ``shards`` / ``planner`` / ``storage`` configure the
+    maintaining :class:`~repro.datalog.incremental.MaterializedModel`
+    exactly as for :class:`~repro.db.view.DatalogView`; the default is the
+    columnar indexed engine.  ``checker`` is the
+    :class:`~repro.constraints.checker.IntegrityChecker` used for fallback
+    constraints (the database passes its own so strategy/config agree).
+
+    The view stays subscribed to the database until :meth:`close`.
+    """
+
+    def __init__(self, database, constraints=None, config=None, strategy="indexed",
+                 shards=None, planner=None, storage="columnar", checker=None):
+        self._database = database
+        active = list(database.constraints() if constraints is None else constraints)
+        self._constraints = active
+        self._compiled_set = compile_constraints(active)
+        self._by_id = {c.constraint_id: c for c in self._compiled_set.compiled}
+        self._by_predicate = self._compiled_set.by_predicate()
+        config = database.config if config is None else config
+        self._checker = checker if checker is not None else IntegrityChecker(
+            constraints=active, config=config
+        )
+        self._delta_listeners = []
+
+        program = DatalogProgram()
+        for rule in self._compiled_set.rules():
+            program.add_rule(rule)
+        for compiled in self._compiled_set.compiled:
+            program.declare_output(compiled.predicate, len(compiled.witnesses))
+        self._nonatomic = {}
+        self._occurrences = {}
+        for sentence in database.sentences():
+            if _is_ground_atom(sentence):
+                count = self._occurrences.get(sentence, 0)
+                self._occurrences[sentence] = count + 1
+                if count == 0:
+                    program.add_fact(sentence)
+            else:
+                self._count_nonatomic(sentence, +1)
+        self._materialized = MaterializedModel(
+            program, strategy=strategy, shards=shards, planner=planner, storage=storage
+        )
+        database.add_update_listener(self._on_update)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def materialized(self):
+        """The underlying :class:`~repro.datalog.incremental.MaterializedModel`."""
+        return self._materialized
+
+    @property
+    def compiled(self):
+        """The :class:`~repro.constraints.compile.CompiledConstraintSet`."""
+        return self._compiled_set
+
+    @property
+    def fallbacks(self):
+        """Compile-time :class:`~repro.constraints.compile.CompilationFallback`
+        entries (the run-time ``non-atomic-sentences`` ones appear on check
+        reports only, since they come and go with the offending sentences)."""
+        return self._compiled_set.fallbacks
+
+    def constraint_id_of(self, constraint):
+        """The id (``c<index>``) the view assigned to *constraint*."""
+        compiled = self._compiled_set.compiled_for(constraint)
+        if compiled is not None:
+            return compiled.constraint_id
+        fallback = self._compiled_set.fallback_for(constraint)
+        if fallback is not None:
+            return fallback.constraint_id
+        raise KeyError(f"not a constraint of this view: {constraint!r}")
+
+    # -- checking -----------------------------------------------------------
+    def check(self, with_witnesses=True, witness_limit=None):
+        """Check the database against the constraint set by *reading* the
+        maintained view (plus a from-scratch pass over the fallback
+        constraints, if any).  Returns a
+        :class:`~repro.constraints.checker.ConstraintReport` whose
+        ``fallbacks`` records every constraint that was not answered by the
+        view and why."""
+        return self._report(
+            lambda compiled: self._read_witnesses(self._materialized, compiled),
+            self._database.sentences,
+            self._runtime_nonatomic(),
+            with_witnesses=with_witnesses,
+            witness_limit=witness_limit,
+        )
+
+    def preview_report(self, additions=(), retractions=(), with_witnesses=True,
+                       witness_limit=None):
+        """The report :meth:`check` would produce if the batch were applied —
+        computed as a side-effect-free O(delta) peek: the violation buckets
+        are probed *inside* the maintenance round trip (via the ``reader``
+        hook of :meth:`~repro.datalog.incremental.MaterializedModel.peek`),
+        so neither the maintained state nor the engine cache changes and no
+        full model is ever built."""
+        additions = list(additions)
+        retractions = list(retractions)
+        # Mirror Transaction.commit + _on_update exactly: each retraction
+        # removes one occurrence from the sentence list, and the EDB fact
+        # only disappears once no occurrence is left.  The occurrence counts
+        # are maintained incrementally, so this stays O(delta).
+        staged = _occurrence_counts(retractions)
+        deletions = [
+            atom
+            for atom, count in staged.items()
+            if self._occurrences.get(atom, 0) <= count
+        ]
+        insertions = _ground_atoms(additions)
+
+        nonatomic = dict(self._nonatomic)
+        for sentence in retractions:
+            if not _is_ground_atom(sentence):
+                for name in _predicate_names(sentence):
+                    nonatomic[name] = nonatomic.get(name, 0) - 1
+        for sentence in additions:
+            if not _is_ground_atom(sentence):
+                for name in _predicate_names(sentence):
+                    nonatomic[name] = nonatomic.get(name, 0) + 1
+        nonatomic_names = {name for name, count in nonatomic.items() if count > 0}
+
+        def fallback_theory():
+            # Only materialized when a fallback constraint actually needs a
+            # from-scratch check; mirrors the commit's retraction discipline —
+            # each staged retraction removes ONE occurrence from the sentence
+            # list, so a duplicated sentence survives until its last
+            # occurrence is retracted (set-based removal would drop every
+            # occurrence and could judge a still-violating post-state
+            # satisfied — the differential harness caught exactly that).
+            pending = {}
+            for sentence in retractions:
+                pending[sentence] = pending.get(sentence, 0) + 1
+            theory = []
+            for sentence in self._database.sentences():
+                if pending.get(sentence, 0) > 0:
+                    pending[sentence] -= 1
+                    continue
+                theory.append(sentence)
+            return theory + additions
+
+        def read(compiled_constraints):
+            def reader(model):
+                return {
+                    compiled.constraint_id: self._read_witnesses(model, compiled)
+                    for compiled in compiled_constraints
+                }
+
+            return self._materialized.peek(
+                insertions=insertions, deletions=deletions, reader=reader
+            )
+
+        return self._report(
+            read,
+            fallback_theory,
+            nonatomic_names,
+            with_witnesses=with_witnesses,
+            witness_limit=witness_limit,
+            batched=True,
+        )
+
+    def violations(self):
+        """The current violations as ``{constraint_id: (witness, ...)}`` —
+        compiled constraints only, read straight off the maintained index."""
+        return {
+            compiled.constraint_id: self._read_witnesses(self._materialized, compiled)
+            for compiled in self._compiled_set.compiled
+        }
+
+    # -- delta subscriptions ------------------------------------------------
+    def add_delta_listener(self, listener):
+        """Subscribe ``listener(added, removed)`` to net violation deltas:
+        both arguments map constraint ids to tuples of witness tuples that
+        appeared / disappeared with an applied database update.  Only applied
+        changes notify — rollbacks and rejected batches never do — and only
+        when the violation set actually changed."""
+        self._delta_listeners.append(listener)
+        return listener
+
+    def remove_delta_listener(self, listener):
+        """Unsubscribe a previously added delta listener."""
+        self._delta_listeners.remove(listener)
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self):
+        """Unsubscribe from the database; the view stops updating."""
+        self._database.remove_update_listener(self._on_update)
+
+    # -- internals ------------------------------------------------------------
+    def _count_nonatomic(self, sentence, delta):
+        for name in _predicate_names(sentence):
+            self._nonatomic[name] = self._nonatomic.get(name, 0) + delta
+
+    def _runtime_nonatomic(self):
+        return {name for name, count in self._nonatomic.items() if count > 0}
+
+    def _read_witnesses(self, model, compiled):
+        """All witness tuples of one compiled constraint, sorted, read from
+        the (possibly peeked) maintained index."""
+        goal = Atom(
+            compiled.predicate,
+            tuple(Variable(f"w{i}") for i in range(len(compiled.witnesses))),
+        )
+        answers = model.query(goal, mode="materialized")
+        witnesses = {
+            tuple(binding[variable] for variable in goal.args) for binding in answers
+        }
+        return tuple(sorted(witnesses, key=lambda w: tuple(p.name for p in w)))
+
+    def _report(self, read, fallback_theory, nonatomic_names, with_witnesses=True,
+                witness_limit=None, batched=False):
+        """Assemble a :class:`ConstraintReport`: compiled constraints whose
+        predicates stay inside the atomic reading come from the view (via
+        *read*), everything else from the from-scratch checker.
+        *fallback_theory* is a thunk, only called when a fallback constraint
+        actually needs the sentence list."""
+        view_constraints, runtime_fallbacks = [], []
+        for compiled in self._compiled_set.compiled:
+            if compiled.edb_predicates & nonatomic_names:
+                runtime_fallbacks.append(
+                    CompilationFallback(
+                        constraint=compiled.constraint,
+                        constraint_id=compiled.constraint_id,
+                        code="non-atomic-sentences",
+                        message=(
+                            "predicates "
+                            + ", ".join(sorted(compiled.edb_predicates & nonatomic_names))
+                            + " are touched by non-atomic sentences; the compiled "
+                            "rules only cover the ground-atomic reading"
+                        ),
+                    )
+                )
+            else:
+                view_constraints.append(compiled)
+
+        if batched:
+            view_witnesses = read(view_constraints) if view_constraints else {}
+        else:
+            view_witnesses = {
+                compiled.constraint_id: read(compiled)
+                for compiled in view_constraints
+            }
+
+        fallbacks = list(self._compiled_set.fallbacks) + runtime_fallbacks
+        fallback_constraints = [fallback.constraint for fallback in fallbacks]
+        scratch = None
+        if fallback_constraints:
+            scratch = self._checker.check(
+                fallback_theory(),
+                constraints=fallback_constraints,
+                with_witnesses=with_witnesses,
+                witness_limit=witness_limit,
+            )
+        scratch_by_constraint = {}
+        if scratch is not None:
+            for violation in scratch.violations:
+                scratch_by_constraint[violation.constraint] = violation
+
+        fallback_ids = {fallback.constraint_id for fallback in fallbacks}
+        violations = []
+        for index, constraint in enumerate(self._constraints):
+            constraint_id = f"c{index}"
+            if constraint_id in fallback_ids:
+                violation = scratch_by_constraint.get(constraint)
+                if violation is not None:
+                    violations.append(violation)
+                continue
+            witnesses = view_witnesses.get(constraint_id, ())
+            if not witnesses:
+                continue
+            if witness_limit is not None:
+                witnesses = witnesses[:witness_limit]
+            violations.append(
+                ConstraintViolation(
+                    constraint=constraint,
+                    witnesses=witnesses if with_witnesses else (),
+                )
+            )
+        return ConstraintReport(
+            satisfied=not violations,
+            violations=tuple(violations),
+            checked=len(self._constraints),
+            fallbacks=tuple(fallbacks),
+        )
+
+    def _on_update(self, added, removed):
+        # A retraction only deletes the EDB fact once no occurrence of the
+        # sentence is left; an assertion only inserts on the first
+        # occurrence.  Counts are maintained here rather than recomputed, so
+        # the whole notification is O(delta).
+        deletions = []
+        for sentence in removed:
+            if not _is_ground_atom(sentence):
+                self._count_nonatomic(sentence, -1)
+                continue
+            count = self._occurrences.get(sentence, 0) - 1
+            if count <= 0:
+                self._occurrences.pop(sentence, None)
+                if count == 0:
+                    deletions.append(sentence)
+            else:
+                self._occurrences[sentence] = count
+        insertions = []
+        for sentence in added:
+            if not _is_ground_atom(sentence):
+                self._count_nonatomic(sentence, +1)
+                continue
+            count = self._occurrences.get(sentence, 0)
+            self._occurrences[sentence] = count + 1
+            if count == 0:
+                insertions.append(sentence)
+        if not insertions and not deletions:
+            return
+        result = self._materialized.apply(insertions, deletions)
+        if not self._delta_listeners:
+            return
+        added_deltas = self._violation_deltas(result.derived_added)
+        removed_deltas = self._violation_deltas(result.derived_removed)
+        if not added_deltas and not removed_deltas:
+            return
+        for listener in list(self._delta_listeners):
+            listener(added_deltas, removed_deltas)
+
+    def _violation_deltas(self, derived):
+        deltas = {}
+        for atom in derived:
+            compiled = self._by_predicate.get(atom.predicate)
+            if compiled is not None:
+                deltas.setdefault(compiled.constraint_id, []).append(tuple(atom.args))
+        return {
+            constraint_id: tuple(
+                sorted(witnesses, key=lambda w: tuple(p.name for p in w))
+            )
+            for constraint_id, witnesses in deltas.items()
+        }
+
+    def __repr__(self):
+        return (
+            f"ViolationView({len(self._compiled_set.compiled)} compiled, "
+            f"{len(self._compiled_set.fallbacks)} fallbacks over {self._database!r})"
+        )

@@ -324,7 +324,7 @@ class MaterializedModel:
             frozenset(derived_removed),
         )
 
-    def peek(self, insertions=(), deletions=()):
+    def peek(self, insertions=(), deletions=(), reader=None):
         """Return the :class:`~repro.semantics.worlds.World` the model would
         have if the batch were applied — without changing anything.
 
@@ -334,13 +334,24 @@ class MaterializedModel:
         trip, so not even the maintenance counters record the peek.  This is
         the API transaction previews should use: a peek can never poison the
         maintained state or the engine's cache.
+
+        Building a :class:`World` materializes the whole model — O(model)
+        even for a one-fact batch.  Callers that only need to probe a few
+        predicates (the violation view's commit-time preview) pass a
+        ``reader`` callable instead: it receives this model while the batch
+        is applied and its return value becomes the peek's result, keeping
+        the whole round trip O(delta + touched buckets).  The reader must
+        not mutate the model.
         """
         facts_before = list(self.program.facts)
         saved_statistics = self.statistics
         self.statistics = MaintenanceStatistics()
         result = self.apply(insertions, deletions)
         try:
-            world = World.from_fact_index(self._index)
+            if reader is None:
+                outcome = World.from_fact_index(self._index)
+            else:
+                outcome = reader(self)
         finally:
             self.apply(*result.inverse())
             # The inverse apply restores the fact *set*; restore the exact
@@ -349,7 +360,7 @@ class MaterializedModel:
             self.program.facts[:] = facts_before
             self._facts_key = tuple(facts_before)
             self.statistics = saved_statistics
-        return world
+        return outcome
 
     def refresh(self):
         """Rebuild the materialized state from scratch (full fixpoint with

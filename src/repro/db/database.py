@@ -60,7 +60,12 @@ class EpistemicDatabase:
         db.answers("K Teach(John, ?c)").values()      # {Parameter('Math')}
     """
 
-    def __init__(self, sentences=(), constraints=(), config=DEFAULT_CONFIG):
+    def __init__(self, sentences=(), constraints=(), config=DEFAULT_CONFIG,
+                 constraint_checking="scratch", view_options=None):
+        if constraint_checking not in ("scratch", "incremental"):
+            raise ValueError(
+                "constraint_checking must be 'scratch' or 'incremental'"
+            )
         self.config = config
         self._sentences = []
         self._constraints = []
@@ -69,6 +74,9 @@ class EpistemicDatabase:
         self._dirty = True
         self._reducer = None
         self._update_listeners = []
+        self._constraint_checking = constraint_checking
+        self._view_options = dict(view_options or {})
+        self._violation_view = None
         for sentence in sentences:
             self.tell(sentence, check_constraints=False, fire_triggers=False)
         for constraint in constraints:
@@ -143,10 +151,12 @@ class EpistemicDatabase:
         """Assert a first-order sentence.
 
         When *check_constraints* is set and the updated database would
-        violate a registered constraint, the assertion is rolled back and
+        violate a registered constraint, the assertion is rejected and
         :class:`~repro.exceptions.ConstraintViolationError` is raised.
-        Returns the constraint report (or ``None`` when checking was
-        skipped).
+        Under ``constraint_checking="incremental"`` the check is an O(delta)
+        preview of the maintained :meth:`violation_view` instead of a
+        from-scratch re-evaluation.  Returns the constraint report (or
+        ``None`` when checking was skipped).
         """
         formula = _as_formula(sentence)
         if not is_first_order(formula):
@@ -156,33 +166,57 @@ class EpistemicDatabase:
             )
         if free_variables(formula):
             raise ValueError(f"database sentences must be closed: {to_text(formula)}")
-        self._sentences.append(formula)
-        self._dirty = True
         report = None
         if check_constraints and self._constraints:
+            # Checked *before* the sentence list changes: the incremental
+            # path previews the batch against the maintained view, which
+            # must see the pre-update state.
             report, _ = self._checker.check_update(
-                self._sentences[:-1], added=[formula], constraints=self._constraints
+                self._sentences, added=[formula], constraints=self._constraints,
+                view=self._update_view(),
             )
             if not report.satisfied:
-                self._sentences.pop()
-                self._dirty = True
                 raise ConstraintViolationError(
                     f"asserting {to_text(formula)} violates integrity constraints",
                     violations=report.violations,
                 )
+        self._sentences.append(formula)
+        self._dirty = True
         self._notify_update([formula], [])
         if fire_triggers and self._triggers.triggers:
             self._triggers.fire(self)
         return report
 
     def retract(self, sentence, check_constraints=True):
-        """Remove a previously asserted sentence (no-op when absent)."""
+        """Remove a previously asserted sentence (no-op when absent).
+
+        Under ``constraint_checking="incremental"`` the constraint check is
+        an O(delta) preview of the maintained :meth:`violation_view`; the
+        scratch mode keeps the original remove/re-check/undo discipline."""
         formula = _as_formula(sentence)
         if formula not in self._sentences:
             return None
+        report = None
+        if (
+            check_constraints
+            and self._constraints
+            and self._constraint_checking == "incremental"
+        ):
+            report, _ = self._checker.check_update(
+                self._sentences, removed=[formula], constraints=self._constraints,
+                view=self.violation_view(),
+            )
+            if not report.satisfied:
+                raise ConstraintViolationError(
+                    f"retracting {to_text(formula)} violates integrity constraints",
+                    violations=report.violations,
+                )
+            self._sentences.remove(formula)
+            self._dirty = True
+            self._notify_update([], [formula])
+            return report
         self._sentences.remove(formula)
         self._dirty = True
-        report = None
         if check_constraints and self._constraints:
             report = self.check_constraints()
             if not report.satisfied:
@@ -199,16 +233,61 @@ class EpistemicDatabase:
         """Register a KFOPCE integrity constraint (Definition 3.5)."""
         formula = _as_formula(constraint)
         self._constraints.append(formula)
+        # The constraint set changed — any maintained violation view compiles
+        # the old set, so drop it; the next check rebuilds it lazily.
+        self._close_view()
         if check_now:
             report = self.check_constraints()
             if not report.satisfied:
                 self._constraints.pop()
+                self._close_view()
                 raise ConstraintViolationError(
                     f"the database does not satisfy {to_text(formula)}",
                     violations=report.violations,
                 )
             return report
         return None
+
+    # -- violation view ---------------------------------------------------------
+    @property
+    def constraint_checking(self):
+        """``"scratch"`` (re-evaluate constraints on every check) or
+        ``"incremental"`` (read the maintained violation view, falling back
+        from-scratch only for uncompilable constraints)."""
+        return self._constraint_checking
+
+    def violation_view(self):
+        """The lazily built
+        :class:`~repro.constraints.views.ViolationView` over this database:
+        the registered constraints compiled to materialized violation rules,
+        maintained through the update listeners.  Shared by every incremental
+        check; invalidated (and rebuilt on next use) when the constraint set
+        changes.  ``view_options`` passed to the constructor configure its
+        engine (``strategy`` / ``shards`` / ``planner`` / ``storage``)."""
+        if self._violation_view is None:
+            from repro.constraints.views import ViolationView
+
+            self._violation_view = ViolationView(
+                self,
+                constraints=self._constraints,
+                config=self.config,
+                checker=self._checker,
+                **self._view_options,
+            )
+        return self._violation_view
+
+    def _update_view(self):
+        """The view commit-time checks should preview against — ``None``
+        under scratch checking, which keeps ``check_update`` on the
+        classical from-scratch path."""
+        if self._constraint_checking == "incremental" and self._constraints:
+            return self.violation_view()
+        return None
+
+    def _close_view(self):
+        if self._violation_view is not None:
+            self._violation_view.close()
+            self._violation_view = None
 
     # -- evaluation ---------------------------------------------------------------
     def _reducer_for(self, queries):
@@ -283,7 +362,14 @@ class EpistemicDatabase:
     # -- constraints ------------------------------------------------------------------
     def check_constraints(self, with_witnesses=True):
         """Check every registered constraint; returns a
-        :class:`~repro.constraints.checker.ConstraintReport`."""
+        :class:`~repro.constraints.checker.ConstraintReport`.
+
+        Under ``constraint_checking="incremental"`` this reads the
+        maintained violation view (O(touched buckets)) instead of
+        re-evaluating; the report's ``fallbacks`` names any constraint that
+        still went through the from-scratch path and why."""
+        if self._constraint_checking == "incremental" and self._constraints:
+            return self.violation_view().check(with_witnesses=with_witnesses)
         return self._checker.check(
             self._sentences, constraints=self._constraints, with_witnesses=with_witnesses
         )

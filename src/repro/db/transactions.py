@@ -50,24 +50,38 @@ class Transaction:
         return tuple(self._additions), tuple(self._retractions)
 
     # -- lifecycle --------------------------------------------------------
-    def commit(self):
+    def commit(self, constraints=None):
         """Apply the batch atomically.
 
         Raises :class:`~repro.exceptions.ConstraintViolationError` (and leaves
         the database untouched) when the *net* state violates a registered
         constraint.  Returns the constraint report of the incremental check
         (``None`` when the database has no constraints).
+
+        *constraints* selects the checking mode for this commit —
+        ``"scratch"`` (classical re-check through the relevance filter) or
+        ``"incremental"`` (an O(delta) preview of the database's maintained
+        :meth:`~repro.db.database.EpistemicDatabase.violation_view`, with
+        witnesses from the view and fallback reasons on the report).  The
+        default is the database's own ``constraint_checking`` mode.
         """
         if self._committed:
             raise RuntimeError("transaction already committed")
         database = self._database
+        mode = database.constraint_checking if constraints is None else constraints
+        if mode not in ("scratch", "incremental"):
+            raise ValueError("constraints must be 'scratch' or 'incremental'")
         report = None
         if database.constraints():
+            view = None
+            if mode == "incremental":
+                view = database.violation_view()
             report, _ = database._checker.check_update(
                 database.sentences(),
                 added=self._additions,
                 removed=self._retractions,
                 constraints=database.constraints(),
+                view=view,
             )
             if not report.satisfied:
                 staged = ", ".join(to_text(s) for s in self._additions + self._retractions)
@@ -75,11 +89,24 @@ class Transaction:
                     f"transaction [{staged}] violates integrity constraints",
                     violations=report.violations,
                 )
+        # Apply the retractions in one pass over the sentence list (each
+        # staged retraction removes one occurrence, earliest first — the
+        # same net effect as repeated ``list.remove`` without the O(batch ×
+        # database) rescans that made large commits quadratic).
         applied_retractions = []
+        to_remove = {}
         for sentence in self._retractions:
-            if sentence in database._sentences:
-                database._sentences.remove(sentence)
-                applied_retractions.append(sentence)
+            to_remove[sentence] = to_remove.get(sentence, 0) + 1
+        if to_remove:
+            kept = []
+            for sentence in database._sentences:
+                pending = to_remove.get(sentence, 0)
+                if pending:
+                    to_remove[sentence] = pending - 1
+                    applied_retractions.append(sentence)
+                else:
+                    kept.append(sentence)
+            database._sentences[:] = kept
         for sentence in self._additions:
             database._sentences.append(sentence)
         database._dirty = True

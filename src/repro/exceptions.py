@@ -107,6 +107,19 @@ class EvaluationDepthError(ReproError):
     completeness fragment of Section 6."""
 
 
+class ConstraintCompilationError(ReproError):
+    """Raised by :func:`repro.constraints.compile.compile_constraint` when a
+    constraint falls outside the Datalog-compilable fragment.  ``code`` is a
+    short machine-readable reason (``"first-order"``, ``"negated-equality"``,
+    ``"not-k1"``, ...) that callers surface as the fallback reason on check
+    results; ``constraint`` is the offending formula."""
+
+    def __init__(self, message, code="uncompilable", constraint=None):
+        super().__init__(message)
+        self.code = code
+        self.constraint = constraint
+
+
 class ConstraintViolationError(ReproError):
     """Raised by strict update operations when a change would leave the
     database violating one of its integrity constraints."""

@@ -8,6 +8,9 @@
 * :mod:`repro.workloads.generators` — random elementary databases, normal
   queries and relational instances used by the soundness, completeness and
   scaling benchmarks (experiments E5/E6/E9).
+* :mod:`repro.workloads.constraints` — the HR and warehouse scenarios scaled
+  to hundreds of thousands of facts, with entity-grouped, always-satisfiable
+  constraint-update streams for the violation-view benchmarks.
 """
 
 from repro.workloads.university import (
@@ -19,6 +22,15 @@ from repro.workloads.employees import (
     employee_constraints,
     employee_database,
     employee_queries,
+)
+from repro.workloads.constraints import (
+    constraint_update_stream,
+    hr_constraints,
+    hr_facts,
+    hr_group,
+    warehouse_constraints,
+    warehouse_facts,
+    warehouse_group,
 )
 from repro.workloads.generators import (
     WORKLOAD_PROGRAMS,
@@ -36,8 +48,12 @@ __all__ = [
     "SECTION1_QUERIES",
     "WORKLOAD_PROGRAMS",
     "chain_datalog_program",
+    "constraint_update_stream",
     "independent_components_program",
     "employee_constraints",
+    "hr_constraints",
+    "hr_facts",
+    "hr_group",
     "employee_database",
     "employee_queries",
     "join_chain_program",
@@ -48,4 +64,7 @@ __all__ = [
     "transitive_closure_program",
     "university_database",
     "university_queries",
+    "warehouse_constraints",
+    "warehouse_facts",
+    "warehouse_group",
 ]

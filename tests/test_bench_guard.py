@@ -3,13 +3,16 @@
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
 against; these tests fail when it goes stale (a strategy, the incremental
 mode, the magic-set query section, the sharded parallel section, the
-columnar-vs-objects storage section or the static-analysis section is
-missing, model/answer agreement was not verified, the incremental speedup slipped below its 10x target, the
-magic point-query speedup below its 5x target or the columnar fixpoint
-speedup / peak-memory advantage below its 3x / <1x targets, or cells were
+columnar-vs-objects storage section, the static-analysis section or the
+violation-view constraints section is missing, model/answer/verdict
+agreement was not verified, the incremental speedup slipped below its 10x target, the
+magic point-query speedup below its 5x target, the columnar fixpoint
+speedup / peak-memory advantage below its 3x / <1x targets or the
+incremental constraint-checking speedup below its 5x target, or cells were
 timed with fewer than 3 repeats) or when indexed evaluation, magic-set
-querying, the parallel scheduler or columnar storage regresses more than 2x
-against the committed ratios on a quick re-measurement.
+querying, the parallel scheduler, columnar storage or incremental
+constraint checking regresses more than 2x against the committed ratios on
+a quick re-measurement.
 """
 
 import importlib.util
@@ -187,6 +190,61 @@ def test_structure_check_catches_unverified_pruning(report):
     )
 
 
+def test_structure_check_catches_missing_violations_section(report):
+    stale = dict(report)
+    stale.pop("violations", None)
+    assert any(
+        "violation-view constraint-checking section" in p
+        for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_unverified_violation_verdicts(report):
+    stale = dict(report)
+    stale["violations"] = {
+        **report["violations"],
+        "comparison": {
+            **report["violations"]["comparison"],
+            "verdicts_identical": False,
+        },
+    }
+    assert any(
+        "verdict/witness agreement" in p
+        for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_violation_speedup_below_target(report):
+    stale = dict(report)
+    stale["violations"] = {
+        **report["violations"],
+        "comparison": {
+            **report["violations"]["comparison"],
+            "speedup_incremental_vs_scratch": 2.5,
+        },
+    }
+    assert any("5.0x target" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_missing_violation_scale_rows(report):
+    stale = dict(report)
+    stale["violations"] = {**report["violations"], "scale": []}
+    assert any("scale rows" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unsatisfied_violation_scale_row(report):
+    stale = dict(report)
+    stale["violations"] = {
+        **report["violations"],
+        "scale": [
+            {**row, "satisfied": False} for row in report["violations"]["scale"]
+        ],
+    }
+    assert any(
+        "always-satisfiable" in p for p in check_bench.structure_problems(stale)
+    )
+
+
 @pytest.mark.slow
 def test_indexed_speedup_has_not_regressed(report):
     problems = check_bench.regression_problems(report)
@@ -208,4 +266,10 @@ def test_magic_query_speedup_has_not_regressed(report):
 @pytest.mark.slow
 def test_columnar_storage_speedup_has_not_regressed(report):
     problems = check_bench.storage_regression_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.slow
+def test_incremental_constraint_checking_has_not_regressed(report):
+    problems = check_bench.violations_regression_problems(report)
     assert not problems, "; ".join(problems)

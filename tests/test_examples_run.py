@@ -38,6 +38,15 @@ def test_hr_integrity_example(capsys):
     assert "trigger asked HR for: ['Zoe']" in output
 
 
+def test_violation_views_example(capsys):
+    _load("violation_views").main()
+    output = capsys.readouterr().out
+    assert "Compiled 4 of 4 constraints" in output
+    assert "fallback[negated-equality]" in output
+    assert "REJECTED" in output and "ACCEPTED" in output
+    assert "trigger asked HR for: ['Ann'] (fired 1 time(s)" in output
+
+
 def test_warehouse_example(capsys):
     _load("warehouse_closed_world").main()
     output = capsys.readouterr().out
