@@ -27,7 +27,11 @@ with ``check="off"``-vs-``check="warn"`` model agreement verified),
 include the ``violations`` section (incremental commit-time constraint
 checking through the maintained violation view against the from-scratch
 checker: verdict/witness agreement verified, the >= 5x speedup holding on
-the HR comparison row, and view-only scale rows ending satisfied), and
+the HR comparison row, and view-only scale rows ending satisfied), include
+the ``revision`` section (view-backed belief revision against the naive
+retract-until-consistent baseline: per-step result agreement verified, the
+>= 5x speedup holding on the HR comparison row, and operator-only scale
+rows with every retraction as expected), and
 have been timed best-of-3 or better (``repeats``) — a PR that adds a mode,
 strategy or storage backend without re-running ``run_bench.py`` fails
 here.
@@ -42,7 +46,9 @@ a committed parallel row, and (``storage_regression_problems``) the
 columnar ``least_index()`` fixpoint against object storage on a committed
 storage row, and (``violations_regression_problems``) one incremental
 view check against one from-scratch constraint check on the committed HR
-comparison row, with the same tolerance.  Comparing *ratios*
+comparison row, and (``revision_regression_problems``) one view-backed
+revision against one naive retract-until-consistent revision on the
+committed HR revision row, with the same tolerance.  Comparing *ratios*
 keeps the checks machine-independent; the 2x tolerance absorbs scheduler
 noise.  By default the rows re-measured are the largest ones cheap enough
 for every test run (committed semi-naive cell under ~2 s, committed
@@ -91,6 +97,12 @@ VIOLATION_SPEEDUP_TARGET = 5.0
 #: slower (the from-scratch checker is super-quadratic in the EDB, so the
 #: re-measured row must stay tiny)
 VIOLATIONS_SECONDS_CAP = 5.0
+#: the committed revision-vs-naive speedup must stay at or above this on
+#: the HR revision comparison row
+REVISION_SPEEDUP_TARGET = 5.0
+#: revision regression row: skip when the committed naive revision mean is
+#: slower (each naive planning probe is a from-scratch check)
+REVISION_SECONDS_CAP = 5.0
 #: every recorded ``seconds`` must be the best of at least this many runs
 MIN_REPEATS = 3
 
@@ -270,6 +282,46 @@ def structure_problems(report):
                 if row.get(field) is None:
                     problems.append(
                         f"violations scale row {row.get('params')} lacks {field}"
+                    )
+    revision = report.get("revision")
+    if revision is None:
+        problems.append(
+            "missing belief-revision section — re-run benchmarks/run_bench.py"
+        )
+    else:
+        comparison = revision.get("comparison")
+        if not comparison:
+            problems.append("revision section has no comparison row")
+        else:
+            if not comparison.get("results_identical", False):
+                problems.append(
+                    "revision comparison row did not verify result agreement "
+                    "between the operator and the naive baseline"
+                )
+            speedup = comparison.get("speedup_revision_vs_naive")
+            if speedup is None or speedup < REVISION_SPEEDUP_TARGET:
+                problems.append(
+                    f"belief-revision speedup {speedup} is below the "
+                    f"{REVISION_SPEEDUP_TARGET}x target on the HR revision "
+                    "comparison row"
+                )
+        scale_rows = revision.get("scale") or []
+        if not scale_rows:
+            problems.append(
+                "revision section has no operator-only scale rows — the "
+                "operator must be exercised at sizes the naive baseline "
+                "cannot reach"
+            )
+        for row in scale_rows:
+            if not row.get("retractions_as_expected", False):
+                problems.append(
+                    f"revision scale row {row.get('params')} retracted "
+                    "something the stream did not expect"
+                )
+            for field in ("build_seconds", "revise_mean_seconds"):
+                if row.get(field) is None:
+                    problems.append(
+                        f"revision scale row {row.get('params')} lacks {field}"
                     )
     analysis = report.get("analysis")
     if analysis is None:
@@ -585,6 +637,71 @@ def violations_regression_problems(report, full=False):
     return []
 
 
+def revision_regression_problems(report, full=False):
+    """Re-measure one view-backed revision against one naive
+    retract-until-consistent revision on the committed HR revision row;
+    return problems when the measured speedup regressed more than
+    ``REGRESSION_TOLERANCE``x against the committed one.  The row is
+    skipped (with a problem) only when the committed naive mean exceeds
+    ``REVISION_SECONDS_CAP`` — each naive planning probe is a from-scratch
+    constraint check, so only a tiny row is cheap enough to re-time on
+    every test run (``full`` re-times it regardless)."""
+    comparison = (report.get("revision") or {}).get("comparison")
+    if not comparison:
+        return ["no committed revision comparison row suitable for re-measurement"]
+    naive_committed = comparison["naive_mean_seconds"]
+    if not full and naive_committed > REVISION_SECONDS_CAP:
+        return [
+            f"committed revision comparison row is too slow to re-measure "
+            f"(naive mean {naive_committed}s > {REVISION_SECONDS_CAP}s cap)"
+        ]
+    committed = naive_committed / max(comparison["operator_mean_seconds"], 1e-9)
+    from repro.db.database import EpistemicDatabase
+    from repro.revision import naive_revise
+    from repro.workloads.constraints import (
+        hr_constraints,
+        hr_facts,
+        iterated_revision_stream,
+    )
+
+    params = comparison["params"]
+    facts = hr_facts(employees=params["employees"])
+    database = EpistemicDatabase(
+        facts, constraints=hr_constraints(), constraint_checking="incremental"
+    )
+    database.violation_view()
+    revisor = database.revision()
+    # The operator cell is tiny (~1 ms), so best-of-3 keeps the ratio
+    # stable — over three *distinct* conflicting steps, because re-revising
+    # the same sentence is a vacuous no-op and would flatter the operator.
+    # Each flip is the same amount of work: one conflict, one retraction.
+    steps = list(
+        iterated_revision_stream(
+            entities=params["employees"], steps=3, conflict_ratio=1.0
+        )
+    )
+    operator_best = None
+    for sentence, _ in steps:
+        start = time.perf_counter()
+        revisor.revise(sentence)
+        elapsed = time.perf_counter() - start
+        if operator_best is None or elapsed < operator_best:
+            operator_best = elapsed
+    # The naive side's probes are from-scratch checks (seconds each) — one
+    # run on the first step against the pristine fact list suffices.
+    start = time.perf_counter()
+    naive_revise(facts, database.constraints(), steps[0][0])
+    naive_seconds = time.perf_counter() - start
+    measured = naive_seconds / max(operator_best, 1e-9)
+    if measured < committed / REGRESSION_TOLERANCE:
+        return [
+            f"belief revision regressed: measured speedup {measured:.0f}x vs "
+            f"committed {committed:.0f}x on {comparison['facts']} HR facts "
+            f"(tolerance {REGRESSION_TOLERANCE}x)"
+        ]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", type=pathlib.Path, default=BENCH_PATH)
@@ -605,6 +722,7 @@ def main(argv=None):
         problems += parallel_regression_problems(report, full=args.full)
         problems += storage_regression_problems(report, full=args.full)
         problems += violations_regression_problems(report, full=args.full)
+        problems += revision_regression_problems(report, full=args.full)
     for problem in problems:
         print(f"FAIL: {problem}")
     if not problems:

@@ -19,7 +19,12 @@ replays 1%-churn constraint-update streams against the scaled HR workload
 (the ``violations`` section — commit-time checking through the maintained
 violation view against the from-scratch ``IntegrityChecker``, verdict and
 witness agreement verified per batch, plus view-only rows at sizes the
-from-scratch baseline cannot reach).  Every
+from-scratch baseline cannot reach), and replays deliberately conflicting
+revision streams through the belief-change layer (the ``revision`` section
+— ``BeliefRevisor`` planning repairs off O(delta) view peeks against the
+naive retract-until-consistent baseline that recomputes from scratch per
+probe, results verified identical per step, plus operator-only scale rows
+the baseline cannot reach).  Every
 timed cell is the best of ``--repeats`` runs (default 3) and carries a
 tracemalloc peak-memory figure measured in a separate traced pass.  The
 JSON it writes is the perf trajectory future PRs diff against
@@ -47,6 +52,8 @@ Usage::
                                                    # objects storage section
     python benchmarks/run_bench.py --no-violations # skip the violation-view
                                                    # constraint-checking
+                                                   # section
+    python benchmarks/run_bench.py --no-revision   # skip the belief-revision
                                                    # section
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
@@ -889,6 +896,161 @@ def run_violations_bench(comparison=None, scale_grid=None):
     return section
 
 
+#: the revision section's comparison row: small on purpose, like the
+#: violations comparison — the naive baseline re-runs the from-scratch
+#: checker per planning probe (super-quadratic in the EDB), so the honest
+#: operator-vs-naive head-to-head must run where scratch is still feasible.
+#: Every step is a deliberate conflict (a gender flip), so both stacks must
+#: actually plan and retract, not coast on the vacuity fast path.
+REVISION_COMPARISON = dict(employees=12, steps=4, conflict_ratio=1.0)
+#: operator-only scale rows: iterated revision against an EDB the naive
+#: baseline cannot touch (one scratch probe would take minutes).
+REVISION_SCALE_GRID = [dict(employees=20000, steps=10, conflict_ratio=0.8)]
+
+QUICK_REVISION_COMPARISON = dict(employees=8, steps=3, conflict_ratio=1.0)
+QUICK_REVISION_SCALE_GRID = [dict(employees=2000, steps=5, conflict_ratio=0.8)]
+
+
+def run_revision_bench(comparison=None, scale_grid=None):
+    """Time belief revision through :class:`~repro.revision.BeliefRevisor`
+    (violation-view peeks, one transaction per operation) against the naive
+    retract-until-consistent baseline (:func:`~repro.revision.naive_revise`,
+    from-scratch recompute per planning probe) on the scaled HR workload.
+
+    *comparison*: both stacks replay the same
+    :func:`~repro.workloads.iterated_revision_stream` of deliberately
+    conflicting tells; per step the operator's ``RevisionResult`` and the
+    naive baseline's decomposition are verified identical — and identical to
+    the stream's own ``expected_retractions`` — before any timing is
+    trusted.  The planning logic is shared, so the ratio isolates exactly
+    the cost of from-scratch consistency probes vs O(delta) view peeks.
+
+    *scale*: operator-only rows at sizes where a single naive probe would
+    take minutes, recording the one-time view build and the per-revision
+    mean; every step's retractions are still checked against the stream's
+    expectations.
+    """
+    from repro.db.database import EpistemicDatabase
+    from repro.revision import naive_revise
+    from repro.workloads.constraints import (
+        hr_constraints,
+        hr_facts,
+        iterated_revision_stream,
+    )
+
+    def build_database(employees):
+        facts = hr_facts(employees=employees)
+        database = EpistemicDatabase(
+            facts, constraints=hr_constraints(), constraint_checking="incremental"
+        )
+        start = time.perf_counter()
+        database.violation_view()
+        build_seconds = time.perf_counter() - start
+        return database, database.revision(), facts, build_seconds
+
+    params = comparison or REVISION_COMPARISON
+    database, revisor, facts, build_seconds = build_database(params["employees"])
+    constraints = database.constraints()
+    stream = list(
+        iterated_revision_stream(
+            entities=params["employees"],
+            steps=params["steps"],
+            conflict_ratio=params["conflict_ratio"],
+        )
+    )
+    shadow = list(facts)
+    operator_seconds = []
+    naive_seconds = []
+    results_identical = True
+    for sentence, expected in stream:
+        gc.collect()
+        start = time.perf_counter()
+        result = revisor.revise(sentence)
+        operator_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        shadow, _, _, naive_retracted = naive_revise(shadow, constraints, sentence)
+        naive_seconds.append(time.perf_counter() - start)
+        if result.retracted != naive_retracted or result.retracted != expected:
+            results_identical = False
+        if database.sentences() != shadow:
+            results_identical = False
+    if not results_identical:
+        raise SystemExit(
+            f"belief revision disagrees with the naive baseline on the HR "
+            f"comparison row {params}"
+        )
+    operator_mean = sum(operator_seconds) / len(operator_seconds)
+    naive_mean = sum(naive_seconds) / len(naive_seconds)
+    section = {
+        "comparison": {
+            "workload": "hr",
+            "params": params,
+            "facts": len(facts),
+            "constraints": len(constraints),
+            "steps": len(stream),
+            "build_seconds": round(build_seconds, 6),
+            "operator_mean_seconds": round(operator_mean, 6),
+            "naive_mean_seconds": round(naive_mean, 6),
+            "speedup_revision_vs_naive": round(
+                naive_mean / max(operator_mean, 1e-9), 2
+            ),
+            "results_identical": results_identical,
+        },
+        "scale": [],
+    }
+    cell = section["comparison"]
+    print(
+        f"revision comparison {params} ({len(facts)} facts): operator "
+        f"{operator_mean * 1000:.2f} ms vs naive {naive_mean * 1000:.0f} ms "
+        f"-> {cell['speedup_revision_vs_naive']}x, results identical"
+    )
+
+    for params in scale_grid or REVISION_SCALE_GRID:
+        database, revisor, facts, build_seconds = build_database(params["employees"])
+        stream = list(
+            iterated_revision_stream(
+                entities=params["employees"],
+                steps=params["steps"],
+                conflict_ratio=params["conflict_ratio"],
+            )
+        )
+        revise_seconds = []
+        retracted_total = 0
+        as_expected = True
+        for sentence, expected in stream:
+            gc.collect()
+            start = time.perf_counter()
+            result = revisor.revise(sentence)
+            revise_seconds.append(time.perf_counter() - start)
+            retracted_total += len(result.retracted)
+            if result.retracted != expected:
+                as_expected = False
+        if not as_expected:
+            raise SystemExit(
+                f"belief revision retracted something unexpected on the HR "
+                f"scale row {params}"
+            )
+        row = {
+            "workload": "hr",
+            "params": params,
+            "facts": len(facts),
+            "steps": len(stream),
+            "build_seconds": round(build_seconds, 6),
+            "revise_mean_seconds": round(
+                sum(revise_seconds) / len(revise_seconds), 6
+            ),
+            "retracted_total": retracted_total,
+            "retractions_as_expected": as_expected,
+        }
+        section["scale"].append(row)
+        print(
+            f"revision scale {params} ({len(facts)} facts): view build "
+            f"{build_seconds:.1f} s, revise {row['revise_mean_seconds'] * 1000:.0f} ms "
+            f"mean, {retracted_total} retractions over {len(stream)} steps"
+        )
+    return section
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -933,7 +1095,9 @@ def main(argv=None):
                              "materialization on the largest query row, and "
                              "incremental commit-time constraint checking is "
                              ">= 5x faster than the from-scratch checker on the "
-                             "HR comparison row")
+                             "HR comparison row, and view-backed belief revision "
+                             "is >= 5x faster than the naive "
+                             "retract-until-consistent baseline")
     parser.add_argument("--experiments", action="store_true",
                         help="also run the E7/E9 pytest benchmarks")
     parser.add_argument("--no-incremental", action="store_true",
@@ -949,6 +1113,9 @@ def main(argv=None):
     parser.add_argument("--no-violations", action="store_true",
                         help="skip the incremental constraint-checking "
                              "(violation view) section")
+    parser.add_argument("--no-revision", action="store_true",
+                        help="skip the belief-revision (operator vs naive) "
+                             "section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -1003,6 +1170,13 @@ def main(argv=None):
             else VIOLATIONS_COMPARISON,
             scale_grid=QUICK_VIOLATIONS_SCALE_GRID if args.quick
             else VIOLATIONS_SCALE_GRID,
+        )
+    if not args.no_revision:
+        report["revision"] = run_revision_bench(
+            comparison=QUICK_REVISION_COMPARISON if args.quick
+            else REVISION_COMPARISON,
+            scale_grid=QUICK_REVISION_SCALE_GRID if args.quick
+            else REVISION_SCALE_GRID,
         )
     if args.experiments:
         report["experiments"] = run_experiments()
@@ -1094,6 +1268,27 @@ def main(argv=None):
             raise SystemExit(
                 f"--check failed: incremental violation-check speedup "
                 f"{violations_speedup} < 5.0"
+            )
+    if "revision" in report and report["revision"].get("comparison"):
+        comparison = report["revision"]["comparison"]
+        revision_speedup = comparison["speedup_revision_vs_naive"]
+        scale_rows = report["revision"].get("scale") or []
+        scale_note = ""
+        if scale_rows:
+            largest = max(scale_rows, key=lambda r: r["facts"])
+            scale_note = (
+                f"; at {largest['facts']} facts the operator still revises in "
+                f"{largest['revise_mean_seconds'] * 1000:.0f} ms"
+            )
+        print(
+            f"revision headline: view-backed belief revision is "
+            f"{revision_speedup}x faster than the naive retract-until-consistent "
+            f"baseline on {comparison['facts']} HR facts{scale_note}"
+        )
+        if args.check and (revision_speedup is None or revision_speedup < 5.0):
+            raise SystemExit(
+                f"--check failed: belief-revision speedup "
+                f"{revision_speedup} < 5.0"
             )
     if "analysis" in report and report["analysis"].get("lint"):
         largest = max(report["analysis"]["lint"], key=lambda r: r["facts"])

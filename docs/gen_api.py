@@ -34,7 +34,8 @@ User guides: [datalog.md](datalog.md) for programs, evaluation and
 incremental maintenance, [queries.md](queries.md) for the goal-directed
 query layer, [parallel.md](parallel.md) for sharded parallel evaluation,
 [analysis.md](analysis.md) for the static analyzer and its diagnostic
-codes, [architecture.md](architecture.md) for the module map.
+codes, [revision.md](revision.md) for the AGM belief-change layer,
+[architecture.md](architecture.md) for the module map.
 """
 
 #: (module path, section title, [exported names])
@@ -68,6 +69,15 @@ SECTIONS = [
      ["MaterializedModel", "UpdateResult", "MaintenanceStatistics"]),
     ("repro.db.view", "Database views — `repro.db.view`",
      ["DatalogView"]),
+    ("repro.revision.operators", "Belief revision — `repro.revision.operators`",
+     ["BeliefRevisor", "RevisionResult"]),
+    ("repro.revision.entrenchment", "Entrenchment — `repro.revision.entrenchment`",
+     ["EntrenchmentPolicy", "EntrenchmentState", "RecencyPolicy",
+      "FactPriorityPolicy"]),
+    ("repro.revision.planner", "Retraction planning — `repro.revision.planner`",
+     ["plan_retractions"]),
+    ("repro.revision.naive", "Naive baseline — `repro.revision.naive`",
+     ["naive_update_batch", "naive_revise", "naive_contract"]),
 ]
 
 

@@ -47,8 +47,22 @@ from repro.constraints.compile import (
 from repro.datalog.incremental import MaterializedModel
 from repro.datalog.program import DatalogProgram
 from repro.db.view import _ground_atoms, _occurrence_counts
-from repro.logic.syntax import Atom, predicates_of
+from repro.logic.substitution import substitute
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Know,
+    Not,
+    Or,
+    free_variables,
+    predicates_of,
+)
 from repro.logic.terms import Parameter, Variable
+from repro.logic.transform import to_admissible_form
 
 
 def _is_ground_atom(sentence):
@@ -59,6 +73,77 @@ def _is_ground_atom(sentence):
 
 def _predicate_names(sentence):
     return {name for name, _ in predicates_of(sentence)}
+
+
+def _support_atoms(formula, positive, out):
+    """Collect the atoms of *formula* that occur in positive polarity —
+    the facts whose joint presence makes the (instantiated) violation body
+    true, and whose retraction therefore removes the violation."""
+    if isinstance(formula, Atom):
+        if positive:
+            out.append(formula)
+    elif isinstance(formula, Know):
+        if positive:
+            _support_atoms(formula.body, True, out)
+    elif isinstance(formula, Not):
+        _support_atoms(formula.body, not positive, out)
+    elif isinstance(formula, (And, Or)):
+        _support_atoms(formula.left, positive, out)
+        _support_atoms(formula.right, positive, out)
+    elif isinstance(formula, Implies):
+        _support_atoms(formula.left, not positive, out)
+        _support_atoms(formula.right, positive, out)
+    elif isinstance(formula, (Forall, Exists)):
+        _support_atoms(formula.body, positive, out)
+    elif isinstance(formula, Iff):
+        # Either polarity could carry the violation; no sound syntactic
+        # support exists, so contribute none (the caller falls back to
+        # reporting the violation as irreparable).
+        pass
+    # Equals / Top / Bottom carry no retractable support.
+
+
+def violation_support(constraint, witness=()):
+    """The *support* of one violation witness: the atoms (instantiated at
+    *witness*) whose presence in the database makes *constraint* fail there.
+
+    The constraint's admissible form is ``~ exists x̄. body`` — exactly what
+    :class:`~repro.constraints.checker.IntegrityChecker` and
+    :mod:`repro.constraints.compile` negate to find witnesses — so the
+    witness tuple binds the existential variables (sorted by name, matching
+    both witness extractors) and the positive atoms of the instantiated body
+    are the facts the violation rests on.  Retracting any of them removes
+    this witness, which is what makes these the *retraction candidates* of
+    the belief-revision layer (:mod:`repro.revision`).
+
+    Atoms that keep free variables (an inner existential of the body) are
+    returned as patterns; callers match them against the database.  Returns
+    ``()`` when the constraint has no extractable support (not in negated
+    existential form, or witness arity mismatch).
+    """
+    admissible = to_admissible_form(constraint)
+    if not isinstance(admissible, Not):
+        return ()
+    body = admissible.body
+    witness_variables = []
+    while isinstance(body, Exists):
+        witness_variables.append(body.variable)
+        body = body.body
+    free_names = {v.name for v in free_variables(body)}
+    ordered = sorted({v.name for v in witness_variables} & free_names)
+    if witness and len(ordered) != len(witness):
+        return ()
+    by_name = {variable.name: variable for variable in witness_variables}
+    mapping = {by_name[name]: value for name, value in zip(ordered, witness)}
+    instantiated = substitute(body, mapping) if mapping else body
+    collected = []
+    _support_atoms(instantiated, True, collected)
+    seen, support = set(), []
+    for candidate in collected:
+        if candidate not in seen:
+            seen.add(candidate)
+            support.append(candidate)
+    return tuple(support)
 
 
 class ViolationView:
@@ -240,6 +325,28 @@ class ViolationView:
             compiled.constraint_id: self._read_witnesses(self._materialized, compiled)
             for compiled in self._compiled_set.compiled
         }
+
+    def retraction_candidates(self, report, protected=()):
+        """Map each violation of *report* to the database sentences it rests
+        on: for every witness, :func:`violation_support` instantiates the
+        constraint's violation body and the atoms currently present in the
+        database (minus *protected*) are returned, ordered and de-duplicated.
+        This is the raw material of minimal-retraction planning — the
+        belief-revision layer picks the least entrenched of these."""
+        protected_set = set(protected)
+        candidates = []
+        seen = set()
+        for violation in report.violations:
+            for witness in violation.witnesses or ((),):
+                for pattern in violation_support(violation.constraint, witness):
+                    if not _is_ground_atom(pattern):
+                        continue
+                    if pattern in protected_set or pattern in seen:
+                        continue
+                    if self._occurrences.get(pattern, 0) > 0:
+                        seen.add(pattern)
+                        candidates.append(pattern)
+        return tuple(candidates)
 
     # -- delta subscriptions ------------------------------------------------
     def add_delta_listener(self, listener):

@@ -74,6 +74,7 @@ class EpistemicDatabase:
         self._dirty = True
         self._reducer = None
         self._update_listeners = []
+        self._revision_epoch = 0
         self._constraint_checking = constraint_checking
         self._view_options = dict(view_options or {})
         self._violation_view = None
@@ -136,10 +137,23 @@ class EpistemicDatabase:
         if listener in self._update_listeners:
             self._update_listeners.remove(listener)
 
+    @property
+    def revision_epoch(self):
+        """A monotone version counter: incremented once per *applied* content
+        change (``tell``, ``retract``, one per committed transaction batch —
+        including each belief-change operation of :meth:`revision`, which
+        applies as a single transaction).  Rejected updates and rollbacks
+        never advance it.  :class:`~repro.db.transactions.Transaction`
+        records the epoch it created as ``committed_epoch``, and the
+        revision layer stamps it on every
+        :class:`~repro.revision.operators.RevisionResult`."""
+        return self._revision_epoch
+
     def _notify_update(self, added, removed):
         """Tell every registered listener about an applied content change.
         Called after constraint checking succeeds and before triggers fire,
         so listeners see the new state before any trigger queries it."""
+        self._revision_epoch += 1
         if not self._update_listeners:
             return
         added = tuple(added)
@@ -388,6 +402,18 @@ class EpistemicDatabase:
         from repro.db.transactions import Transaction
 
         return Transaction(self)
+
+    def revision(self, policy=None, **options):
+        """Return a :class:`~repro.revision.operators.BeliefRevisor` over
+        this database: AGM-style ``expand`` / ``contract`` / ``revise`` /
+        ``update_batch`` operators that resolve constraint conflicts by
+        minimal retraction, arbitrated by the entrenchment *policy*
+        (default recency) and applied as single transactions.  *options*
+        are passed through (``consistency``, ``closed_world``,
+        ``max_rounds``)."""
+        from repro.revision.operators import BeliefRevisor
+
+        return BeliefRevisor(self, policy=policy, **options)
 
     # -- datalog view -------------------------------------------------------------------
     def datalog_view(self, rules=(), strategy="indexed", shards=None, planner=None,

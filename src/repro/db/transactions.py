@@ -28,6 +28,7 @@ class Transaction:
         self._additions = []
         self._retractions = []
         self._committed = False
+        self._committed_epoch = None
 
     # -- staging ---------------------------------------------------------
     def tell(self, sentence):
@@ -48,6 +49,13 @@ class Transaction:
     def pending(self):
         """The staged (additions, retractions) as tuples."""
         return tuple(self._additions), tuple(self._retractions)
+
+    @property
+    def committed_epoch(self):
+        """The database's ``revision_epoch`` this commit created, or ``None``
+        while uncommitted / after a rollback — the handle revision history
+        keeps to order belief states."""
+        return self._committed_epoch
 
     # -- lifecycle --------------------------------------------------------
     def commit(self, constraints=None):
@@ -112,6 +120,7 @@ class Transaction:
         database._dirty = True
         self._committed = True
         database._notify_update(self._additions, applied_retractions)
+        self._committed_epoch = database.revision_epoch
         if database.triggers.triggers:
             database.triggers.fire(database)
         return report

@@ -129,6 +129,20 @@ class ConstraintViolationError(ReproError):
         self.violations = tuple(violations or ())
 
 
+class RevisionError(ReproError):
+    """Raised by the belief-change operators (:mod:`repro.revision`) when a
+    revision cannot be carried out: a violated constraint has no retractable
+    support (the new information conflicts with the constraints on its own),
+    the greedy repair loop fails to converge, or the revised base would be
+    unsatisfiable.  The database is left untouched.  ``violations`` carries
+    the :class:`~repro.constraints.checker.ConstraintViolation` objects that
+    could not be resolved, when there are any."""
+
+    def __init__(self, message, violations=None):
+        super().__init__(message)
+        self.violations = tuple(violations or ())
+
+
 class UnknownPredicateError(ReproError):
     """Raised by the relational layer when a statement refers to a relation
     that is not part of the schema."""

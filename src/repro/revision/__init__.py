@@ -1,0 +1,37 @@
+"""Belief change at delta cost: AGM-style revision over the epistemic database.
+
+The paper's closing argument is that a database *is* a knowledge base and an
+update is an epistemic operation; this package supplies those operations.
+:class:`~repro.revision.operators.BeliefRevisor` wraps an
+:class:`~repro.db.database.EpistemicDatabase` with ``expand`` / ``contract``
+/ ``revise`` / ``update_batch``, resolving integrity-constraint conflicts by
+minimal retraction: the PR 8 violation views locate the conflict in O(delta),
+:func:`~repro.constraints.views.violation_support` names the facts it rests
+on, an entrenchment policy (:mod:`~repro.revision.entrenchment`) picks which
+one gives way, and the whole change applies as one transaction.
+:mod:`~repro.revision.naive` is the same specification paid for by
+from-scratch recompute — the differential oracle and the benchmark baseline.
+"""
+
+from repro.revision.entrenchment import (
+    EntrenchmentPolicy,
+    EntrenchmentState,
+    FactPriorityPolicy,
+    RecencyPolicy,
+)
+from repro.revision.naive import naive_contract, naive_revise, naive_update_batch
+from repro.revision.operators import BeliefRevisor, RevisionResult
+from repro.revision.planner import plan_retractions
+
+__all__ = [
+    "BeliefRevisor",
+    "EntrenchmentPolicy",
+    "EntrenchmentState",
+    "FactPriorityPolicy",
+    "RecencyPolicy",
+    "RevisionResult",
+    "naive_contract",
+    "naive_revise",
+    "naive_update_batch",
+    "plan_retractions",
+]

@@ -28,6 +28,7 @@ from repro.workloads.constraints import (
     hr_constraints,
     hr_facts,
     hr_group,
+    iterated_revision_stream,
     warehouse_constraints,
     warehouse_facts,
     warehouse_group,
@@ -54,6 +55,7 @@ __all__ = [
     "hr_constraints",
     "hr_facts",
     "hr_group",
+    "iterated_revision_stream",
     "employee_database",
     "employee_queries",
     "join_chain_program",

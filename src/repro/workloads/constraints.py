@@ -111,6 +111,63 @@ def warehouse_constraints():
     ]
 
 
+def iterated_revision_stream(
+    entities=1000,
+    steps=100,
+    seed=0,
+    schema="hr",
+    conflict_ratio=1.0,
+):
+    """Yield ``(sentence, expected_retractions)`` revision steps — a long
+    stream of *deliberately conflicting* tells for the belief-revision layer
+    (:mod:`repro.revision`) over the scaled HR or warehouse EDB.
+
+    Each conflicting step flips one live entity's exclusive property — an
+    employee's gender under ``disjoint_properties("male", "female")``, an
+    item's handling class under ``disjoint_properties("fragile", "sturdy")``
+    — so revising the new atom in *must* retract exactly the stale one
+    (``expected_retractions``), and nothing else: the totality constraint
+    stays satisfied by the incoming atom, so the repair never cascades.  A
+    ``1 - conflict_ratio`` fraction of steps instead tells a fresh attribute
+    fact for a live entity (a second ``ss``/``sku``) that conflicts with
+    nothing (``expected_retractions == ()``), exercising revision's vacuity
+    fast path at scale.
+
+    The stream assumes the EDB was built by :func:`hr_facts` /
+    :func:`warehouse_facts` with the same *entities* count (the flip state
+    starts from their parity-based property assignment) and tracks its own
+    flips, so every step conflicts by construction no matter how many ran
+    before.  Deterministic in *seed*.
+    """
+    if schema == "hr":
+        entity, properties, attribute = "E", ("male", "female"), "ss"
+        initial = lambda index: index % 2  # noqa: E731 — hr_facts parity
+    elif schema == "warehouse":
+        entity, properties, attribute = "I", ("sturdy", "fragile"), "sku"
+        initial = lambda index: 1 if index % 3 == 0 else 0  # noqa: E731
+    else:
+        raise ValueError("schema must be 'hr' or 'warehouse'")
+    rng = random.Random(seed)
+    state = {index: initial(index) for index in range(entities)}
+    fresh_attribute = entities
+    for _ in range(steps):
+        index = rng.randrange(entities)
+        subject = param(f"{entity}{index}")
+        if rng.random() < conflict_ratio:
+            current = state[index]
+            state[index] = 1 - current
+            yield (
+                atom(properties[state[index]], subject),
+                (atom(properties[current], subject),),
+            )
+        else:
+            yield (
+                atom(attribute, subject, param(f"X{fresh_attribute}")),
+                (),
+            )
+            fresh_attribute += 1
+
+
 def constraint_update_stream(
     entities=1000,
     batches=20,

@@ -3,16 +3,18 @@
 The committed ``BENCH_datalog.json`` is the perf trajectory future PRs diff
 against; these tests fail when it goes stale (a strategy, the incremental
 mode, the magic-set query section, the sharded parallel section, the
-columnar-vs-objects storage section, the static-analysis section or the
-violation-view constraints section is missing, model/answer/verdict
+columnar-vs-objects storage section, the static-analysis section, the
+violation-view constraints section or the belief-revision section is
+missing, model/answer/verdict/result
 agreement was not verified, the incremental speedup slipped below its 10x target, the
 magic point-query speedup below its 5x target, the columnar fixpoint
 speedup / peak-memory advantage below its 3x / <1x targets or the
-incremental constraint-checking speedup below its 5x target, or cells were
+incremental constraint-checking or belief-revision speedups below their 5x
+targets, or cells were
 timed with fewer than 3 repeats) or when indexed evaluation, magic-set
-querying, the parallel scheduler, columnar storage or incremental
-constraint checking regresses more than 2x against the committed ratios on
-a quick re-measurement.
+querying, the parallel scheduler, columnar storage, incremental
+constraint checking or belief revision regresses more than 2x against the
+committed ratios on a quick re-measurement.
 """
 
 import importlib.util
@@ -245,6 +247,65 @@ def test_structure_check_catches_unsatisfied_violation_scale_row(report):
     )
 
 
+def test_structure_check_catches_missing_revision_section(report):
+    stale = dict(report)
+    stale.pop("revision", None)
+    assert any(
+        "belief-revision section" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_unverified_revision_results(report):
+    stale = dict(report)
+    stale["revision"] = {
+        **report["revision"],
+        "comparison": {
+            **report["revision"]["comparison"],
+            "results_identical": False,
+        },
+    }
+    assert any(
+        "result agreement" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_revision_speedup_below_target(report):
+    stale = dict(report)
+    stale["revision"] = {
+        **report["revision"],
+        "comparison": {
+            **report["revision"]["comparison"],
+            "speedup_revision_vs_naive": 2.5,
+        },
+    }
+    assert any(
+        "belief-revision speedup" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_missing_revision_scale_rows(report):
+    stale = dict(report)
+    stale["revision"] = {**report["revision"], "scale": []}
+    assert any(
+        "operator-only scale rows" in p
+        for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_unexpected_revision_retraction(report):
+    stale = dict(report)
+    stale["revision"] = {
+        **report["revision"],
+        "scale": [
+            {**row, "retractions_as_expected": False}
+            for row in report["revision"]["scale"]
+        ],
+    }
+    assert any(
+        "did not expect" in p for p in check_bench.structure_problems(stale)
+    )
+
+
 @pytest.mark.slow
 def test_indexed_speedup_has_not_regressed(report):
     problems = check_bench.regression_problems(report)
@@ -272,4 +333,10 @@ def test_columnar_storage_speedup_has_not_regressed(report):
 @pytest.mark.slow
 def test_incremental_constraint_checking_has_not_regressed(report):
     problems = check_bench.violations_regression_problems(report)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.slow
+def test_belief_revision_speedup_has_not_regressed(report):
+    problems = check_bench.revision_regression_problems(report)
     assert not problems, "; ".join(problems)

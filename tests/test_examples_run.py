@@ -99,6 +99,18 @@ def test_columnar_storage_example(capsys):
     assert "parallel columnar model identical: True" in output
 
 
+def test_belief_revision_example(capsys):
+    _load("belief_revision").main()
+    output = capsys.readouterr().out
+    assert "retracted ['male(E0)'] (epoch" in output
+    assert "repaired the expansion: retracted ['male(E0)']" in output
+    assert "cascade retracted ['works_in(E0, D0)']" in output
+    assert "recency (default): retracted ['female(A)']" in output
+    assert "FactPriorityPolicy(female outranks male): retracted ['male(A)']" in output
+    assert "REJECTED" in output and "database untouched: True" in output
+    assert "epochs strictly increasing: True" in output
+
+
 def test_program_analysis_example(capsys):
     _load("program_analysis").main()
     output = capsys.readouterr().out
