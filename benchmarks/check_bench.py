@@ -103,6 +103,9 @@ REVISION_SPEEDUP_TARGET = 5.0
 #: revision regression row: skip when the committed naive revision mean is
 #: slower (each naive planning probe is a from-scratch check)
 REVISION_SECONDS_CAP = 5.0
+#: the estimated share of an untraced fixpoint spent in no-op
+#: instrumentation points must stay at or below this
+NOOP_OVERHEAD_CAP_PCT = 5.0
 #: every recorded ``seconds`` must be the best of at least this many runs
 MIN_REPEATS = 3
 
@@ -323,6 +326,41 @@ def structure_problems(report):
                     problems.append(
                         f"revision scale row {row.get('params')} lacks {field}"
                     )
+    observability = report.get("observability")
+    if observability is None:
+        problems.append(
+            "missing observability (tracing-overhead) section — "
+            "re-run benchmarks/run_bench.py"
+        )
+    else:
+        if not observability.get("models_identical", False):
+            problems.append(
+                "observability section did not verify model agreement "
+                "across the noop/traced/provenance cells"
+            )
+        for field in (
+            "noop_seconds",
+            "traced_seconds",
+            "provenance_seconds",
+            "traced_overhead_pct",
+            "provenance_overhead_pct",
+            "spans_recorded",
+            "noop_span_cost_ns",
+            "noop_overhead_pct",
+        ):
+            if observability.get(field) is None:
+                problems.append(f"observability section lacks {field}")
+        noop_overhead = observability.get("noop_overhead_pct")
+        if noop_overhead is not None and noop_overhead > NOOP_OVERHEAD_CAP_PCT:
+            problems.append(
+                f"no-op tracing overhead {noop_overhead}% exceeds the "
+                f"{NOOP_OVERHEAD_CAP_PCT}% cap — the default must stay free"
+            )
+        if not observability.get("spans_recorded"):
+            problems.append(
+                "observability section recorded no spans — the traced cell "
+                "must exercise the instrumentation points"
+            )
     analysis = report.get("analysis")
     if analysis is None:
         problems.append(

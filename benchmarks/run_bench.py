@@ -55,6 +55,8 @@ Usage::
                                                    # section
     python benchmarks/run_bench.py --no-revision   # skip the belief-revision
                                                    # section
+    python benchmarks/run_bench.py --no-observability  # skip the tracing-
+                                                   # overhead section
 
 The naive strategy is only run on workloads up to ``--naive-cap`` facts (its
 nested-loop joins are the quadratic-and-worse baseline the ablation exists to
@@ -1051,6 +1053,101 @@ def run_revision_bench(comparison=None, scale_grid=None):
     return section
 
 
+OBSERVABILITY_PARAMS = dict(chains=80, length=15)
+QUICK_OBSERVABILITY_PARAMS = dict(chains=20, length=10)
+
+
+def run_observability_bench(params=None, repeats=3):
+    """Time the indexed fixpoint on a ~10k-fact transitive closure with
+    observability off (the no-op tracer default), with a recording tracer,
+    and with provenance recording — same workload, same strategy, models
+    verified identical across the three cells.
+
+    ``traced_overhead_pct`` / ``provenance_overhead_pct`` record honestly
+    what recording costs.  The *guarded* number is ``noop_overhead_pct``:
+    the estimated share of the untraced fixpoint spent in the no-op
+    instrumentation points (spans the traced run recorded x the
+    micro-timed per-call cost of ``NOOP_TRACER.span``), which
+    ``check_bench.py`` holds at <= 5%.
+    """
+    from repro.obs.tracing import NOOP_TRACER, Tracer
+
+    params = params or OBSERVABILITY_PARAMS
+    cells = {}
+    models = {}
+    spans_recorded = 0
+    for name in ("noop", "traced", "provenance"):
+        best = None
+        model = None
+        for _ in range(repeats):
+            program = transitive_closure_program(**params)
+            engine_kwargs = {"storage": "columnar"}
+            if name == "traced":
+                engine_kwargs["tracer"] = Tracer()
+            elif name == "provenance":
+                engine_kwargs["provenance"] = True
+            engine = DatalogEngine(program, **engine_kwargs)
+            gc.collect()
+            start = time.perf_counter()
+            model = engine.least_model()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+            if name == "traced":
+                spans_recorded = len(engine.tracer.entries)
+        cells[name] = best
+        models[name] = model
+
+    if len(set(models.values())) != 1:
+        raise SystemExit(
+            "observability cells disagree on the model: "
+            + ", ".join(f"{n}={len(m)}" for n, m in models.items())
+        )
+
+    # Micro-time the no-op span: one call per instrumentation point is the
+    # whole cost tracing-off adds to a fixpoint.
+    calls = 200_000
+    span = NOOP_TRACER.span
+    gc.collect()
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("bench.noop", iteration=0):
+            pass
+    per_call_seconds = (time.perf_counter() - start) / calls
+
+    noop_seconds = cells["noop"]
+    section = {
+        "workload": "transitive_closure",
+        "params": params,
+        "model_size": len(models["noop"]),
+        "repeats": repeats,
+        "noop_seconds": round(noop_seconds, 6),
+        "traced_seconds": round(cells["traced"], 6),
+        "provenance_seconds": round(cells["provenance"], 6),
+        "traced_overhead_pct": round(
+            (cells["traced"] - noop_seconds) / noop_seconds * 100, 1
+        ),
+        "provenance_overhead_pct": round(
+            (cells["provenance"] - noop_seconds) / noop_seconds * 100, 1
+        ),
+        "spans_recorded": spans_recorded,
+        "noop_span_cost_ns": round(per_call_seconds * 1e9, 1),
+        "noop_overhead_pct": round(
+            spans_recorded * per_call_seconds / noop_seconds * 100, 2
+        ),
+        "models_identical": True,
+    }
+    print(
+        f"observability {params} ({section['model_size']} facts): noop "
+        f"{noop_seconds * 1000:.1f} ms, traced {cells['traced'] * 1000:.1f} ms "
+        f"(+{section['traced_overhead_pct']}%), provenance "
+        f"{cells['provenance'] * 1000:.1f} ms "
+        f"(+{section['provenance_overhead_pct']}%), no-op instrumentation "
+        f"~{section['noop_overhead_pct']}% over {spans_recorded} span points"
+    )
+    return section
+
+
 def run_experiments():
     """Run the E7/E9 pytest benchmarks and record their outcome."""
     results = {}
@@ -1116,6 +1213,9 @@ def main(argv=None):
     parser.add_argument("--no-revision", action="store_true",
                         help="skip the belief-revision (operator vs naive) "
                              "section")
+    parser.add_argument("--no-observability", action="store_true",
+                        help="skip the tracing-overhead (observability) "
+                             "section")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -1177,6 +1277,11 @@ def main(argv=None):
             else REVISION_COMPARISON,
             scale_grid=QUICK_REVISION_SCALE_GRID if args.quick
             else REVISION_SCALE_GRID,
+        )
+    if not args.no_observability:
+        report["observability"] = run_observability_bench(
+            QUICK_OBSERVABILITY_PARAMS if args.quick else OBSERVABILITY_PARAMS,
+            repeats=args.repeats,
         )
     if args.experiments:
         report["experiments"] = run_experiments()
@@ -1289,6 +1394,19 @@ def main(argv=None):
             raise SystemExit(
                 f"--check failed: belief-revision speedup "
                 f"{revision_speedup} < 5.0"
+            )
+    if "observability" in report and report["observability"]:
+        obs = report["observability"]
+        print(
+            f"observability headline: no-op instrumentation costs "
+            f"~{obs['noop_overhead_pct']}% of a {obs['model_size']}-fact "
+            f"fixpoint; recording traces costs +{obs['traced_overhead_pct']}%, "
+            f"provenance +{obs['provenance_overhead_pct']}%"
+        )
+        if args.check and obs["noop_overhead_pct"] > 5.0:
+            raise SystemExit(
+                f"--check failed: no-op tracing overhead "
+                f"{obs['noop_overhead_pct']}% > 5%"
             )
     if "analysis" in report and report["analysis"].get("lint"):
         largest = max(report["analysis"]["lint"], key=lambda r: r["facts"])

@@ -35,7 +35,8 @@ incremental maintenance, [queries.md](queries.md) for the goal-directed
 query layer, [parallel.md](parallel.md) for sharded parallel evaluation,
 [analysis.md](analysis.md) for the static analyzer and its diagnostic
 codes, [revision.md](revision.md) for the AGM belief-change layer,
-[architecture.md](architecture.md) for the module map.
+[observability.md](observability.md) for tracing, metrics and
+provenance, [architecture.md](architecture.md) for the module map.
 """
 
 #: (module path, section title, [exported names])
@@ -78,6 +79,15 @@ SECTIONS = [
      ["plan_retractions"]),
     ("repro.revision.naive", "Naive baseline — `repro.revision.naive`",
      ["naive_update_batch", "naive_revise", "naive_contract"]),
+    ("repro.obs.tracing", "Tracing — `repro.obs.tracing`",
+     ["Tracer", "NoopTracer", "read_trace", "summarize_trace",
+      "render_summary"]),
+    ("repro.obs.metrics", "Metrics — `repro.obs.metrics`",
+     ["MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricsFacade",
+      "facade_fields"]),
+    ("repro.obs.provenance", "Provenance — `repro.obs.provenance`",
+     ["ProvenanceRecorder", "Derivation", "derivation_tree",
+      "RejectionExplanation", "ProvenanceError"]),
 ]
 
 

@@ -48,6 +48,7 @@ from repro.datalog.incremental import MaterializedModel
 from repro.datalog.program import DatalogProgram
 from repro.db.view import _ground_atoms, _occurrence_counts
 from repro.logic.substitution import substitute
+from repro.obs.tracing import NOOP_TRACER
 from repro.logic.syntax import (
     And,
     Atom,
@@ -200,6 +201,11 @@ class ViolationView:
         self._materialized = MaterializedModel(
             program, strategy=strategy, shards=shards, planner=planner, storage=storage
         )
+        # Maintenance rounds driven by this view show up in the database's
+        # trace (the wrapped engine defaults to the no-op tracer).
+        self._materialized.engine.tracer = getattr(
+            database, "tracer", self._materialized.engine.tracer
+        )
         database.add_update_listener(self._on_update)
 
     # -- introspection ------------------------------------------------------
@@ -238,13 +244,15 @@ class ViolationView:
         :class:`~repro.constraints.checker.ConstraintReport` whose
         ``fallbacks`` records every constraint that was not answered by the
         view and why."""
-        return self._report(
-            lambda compiled: self._read_witnesses(self._materialized, compiled),
-            self._database.sentences,
-            self._runtime_nonatomic(),
-            with_witnesses=with_witnesses,
-            witness_limit=witness_limit,
-        )
+        tracer = getattr(self._database, "tracer", NOOP_TRACER)
+        with tracer.span("violations.check"):
+            return self._report(
+                lambda compiled: self._read_witnesses(self._materialized, compiled),
+                self._database.sentences,
+                self._runtime_nonatomic(),
+                with_witnesses=with_witnesses,
+                witness_limit=witness_limit,
+            )
 
     def preview_report(self, additions=(), retractions=(), with_witnesses=True,
                        witness_limit=None):
@@ -309,14 +317,20 @@ class ViolationView:
                 insertions=insertions, deletions=deletions, reader=reader
             )
 
-        return self._report(
-            read,
-            fallback_theory,
-            nonatomic_names,
-            with_witnesses=with_witnesses,
-            witness_limit=witness_limit,
-            batched=True,
-        )
+        tracer = getattr(self._database, "tracer", NOOP_TRACER)
+        with tracer.span(
+            "violations.preview",
+            additions=len(additions),
+            retractions=len(retractions),
+        ):
+            return self._report(
+                read,
+                fallback_theory,
+                nonatomic_names,
+                with_witnesses=with_witnesses,
+                witness_limit=witness_limit,
+                batched=True,
+            )
 
     def violations(self):
         """The current violations as ``{constraint_id: (witness, ...)}`` —

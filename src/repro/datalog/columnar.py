@@ -653,7 +653,7 @@ def _row_expression(args, slots, interner):
     return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
 
 
-def compile_schedule(rule, schedule, interner, shape=(1, 0)):
+def compile_schedule(rule, schedule, interner, shape=(1, 0), provenance=False):
     """Compile a ``(literal, source)`` schedule (the output of
     :meth:`DatalogEngine._schedule
     <repro.datalog.engine.DatalogEngine._schedule>`) into a join-pass
@@ -662,6 +662,14 @@ def compile_schedule(rule, schedule, interner, shape=(1, 0)):
 
     *shape* is ``(len(sources), len(delta_full))`` — membership chains over
     the store fragments are unrolled at generation time.
+
+    With *provenance* the generated function takes one extra parameter,
+    ``rec``, called as ``rec((v0, ..., vN))`` — the bound slot values, in
+    slot order — for each genuinely new derivation (inside the same absence
+    guard that admits the fact).  The variable of each slot is published on
+    the function as ``pass_.slot_variables``, so the driver can decode the
+    values back into a binding; the non-provenance variant emits *no* extra
+    code, keeping the default inner loop byte-for-byte unchanged.
     """
     source_count, delta_count = shape
     slots = {}
@@ -675,7 +683,10 @@ def compile_schedule(rule, schedule, interner, shape=(1, 0)):
     def emit(depth, text):
         lines.append("    " * depth + text)
 
-    emit(0, "def pass_(sources, delta_full, delta_enum, out):")
+    parameters = "sources, delta_full, delta_enum, out" + (
+        ", rec" if provenance else ""
+    )
+    emit(0, f"def pass_({parameters}):")
     emit(1, "__add = out.add")
     head_key_name = "__HK"
     env[head_key_name] = (rule.head.predicate, rule.head.arity)
@@ -792,21 +803,30 @@ def compile_schedule(rule, schedule, interner, shape=(1, 0)):
     )
     emit(depth, f"if {absent}:")
     emit(depth + 1, "__add(__f)")
+    if provenance:
+        ordered_slots = sorted(slots.values())
+        values = ", ".join(f"v{slot}" for slot in ordered_slots)
+        if len(ordered_slots) == 1:
+            values += ","
+        emit(depth + 1, f"rec(({values}))")
 
     code = compile("\n".join(lines), f"<columnar join: {rule}>", "exec")
     exec(code, env)
-    return env["pass_"]
+    pass_ = env["pass_"]
+    pass_.slot_variables = tuple(sorted(slots, key=slots.get))
+    return pass_
 
 
-def compiled_for(cache, rule, delta_position, schedule, interner, shape=(1, 0)):
+def compiled_for(cache, rule, delta_position, schedule, interner, shape=(1, 0),
+                 provenance=False):
     """The generated join-pass function for one (rule, delta position,
-    schedule, fragment shape) combination, memoized in *cache* — schedules
-    stabilise after a round or two, so generation is paid once per distinct
-    plan."""
-    key = (rule, delta_position, tuple(schedule), shape)
+    schedule, fragment shape, provenance) combination, memoized in *cache* —
+    schedules stabilise after a round or two, so generation is paid once per
+    distinct plan."""
+    key = (rule, delta_position, tuple(schedule), shape, provenance)
     compiled = cache.get(key)
     if compiled is None:
-        compiled = compile_schedule(rule, schedule, interner, shape)
+        compiled = compile_schedule(rule, schedule, interner, shape, provenance)
         cache[key] = compiled
     return compiled
 
@@ -831,44 +851,117 @@ def fresh_delta(new_facts):
     return store
 
 
+def _edge_recorder(sink, rule, slot_variables, parameters):
+    """A per-pass closure decoding one compiled-join provenance callback —
+    the bound slot values, in slot order — back into atom space and feeding
+    the engine's provenance sink with ``(head, rule, ground positive
+    body)``."""
+    head_args = rule.head.args
+    positive_atoms = [literal.atom for literal in rule.body if literal.positive]
+
+    def record(values):
+        binding = {
+            variable: parameters[value]
+            for variable, value in zip(slot_variables, values)
+        }
+        head = fast_atom(
+            rule.head.predicate,
+            tuple(
+                binding[arg] if isinstance(arg, Variable) else arg
+                for arg in head_args
+            ),
+        )
+        body = tuple(
+            fast_atom(
+                atom.predicate,
+                tuple(
+                    binding[arg] if isinstance(arg, Variable) else arg
+                    for arg in atom.args
+                ),
+            )
+            for atom in positive_atoms
+        )
+        sink(head, rule, body)
+
+    return record
+
+
 def columnar_fixpoint(engine, rules, store, interner, cache):
     """The engine's indexed semi-naive fixpoint in id space: the exact
     round/pass structure (and statistics counters) of
     :meth:`DatalogEngine._indexed_fixpoint
     <repro.datalog.engine.DatalogEngine._indexed_fixpoint>`, with joins
-    executed by the generated pass functions over *store*."""
+    executed by the generated pass functions over *store*.
+
+    When the engine's provenance sink is armed, the provenance variants of
+    the compiled joins are used instead (see :func:`compile_schedule`); the
+    default path runs the exact generated code it always did.
+    """
     statistics = engine.statistics
+    tracer = engine.tracer
+    sink = engine._provenance_sink
+    recording = sink is not None
+    parameters = interner.parameters
     sources = (store,)
     delta = None
     delta_sources = ()
     first_round = True
     while True:
         statistics.iterations += 1
-        stats = engine._planner_stats(store)
-        new_facts = set()
-        for rule in rules:
-            if first_round:
-                statistics.rule_applications += 1
-                schedule = engine._schedule(rule, index=store, stats=stats)
-                join = compiled_for(cache, rule, None, schedule, interner, (1, 0))
-                join(sources, (), (), new_facts)
-                continue
-            produced_this_rule = set()
-            for delta_position, literal in enumerate(rule.body):
-                if not literal.positive:
+        round_span = tracer.span("fixpoint.round", iteration=statistics.iterations)
+        with round_span:
+            stats = engine._planner_stats(store)
+            new_facts = set()
+            for rule in rules:
+                if first_round:
+                    statistics.rule_applications += 1
+                    schedule = engine._schedule(rule, index=store, stats=stats)
+                    join = compiled_for(
+                        cache, rule, None, schedule, interner, (1, 0), recording
+                    )
+                    with tracer.span("join.pass", rule=rule.head.predicate):
+                        if recording:
+                            join(sources, (), (), new_facts, _edge_recorder(
+                                sink, rule, join.slot_variables, parameters
+                            ))
+                        else:
+                            join(sources, (), (), new_facts)
                     continue
-                if not delta.count(literal.atom.predicate, len(literal.atom.args)):
-                    statistics.delta_passes_skipped += 1
-                    continue
-                statistics.rule_applications += 1
-                schedule = engine._schedule(
-                    rule, delta_position=delta_position, index=store, stats=stats
-                )
-                join = compiled_for(
-                    cache, rule, delta_position, schedule, interner, (1, 1)
-                )
-                join(sources, delta_sources, delta_sources, produced_this_rule)
-            new_facts |= produced_this_rule
+                produced_this_rule = set()
+                for delta_position, literal in enumerate(rule.body):
+                    if not literal.positive:
+                        continue
+                    if not delta.count(literal.atom.predicate, len(literal.atom.args)):
+                        statistics.delta_passes_skipped += 1
+                        continue
+                    statistics.rule_applications += 1
+                    schedule = engine._schedule(
+                        rule, delta_position=delta_position, index=store, stats=stats
+                    )
+                    join = compiled_for(
+                        cache, rule, delta_position, schedule, interner, (1, 1),
+                        recording,
+                    )
+                    with tracer.span(
+                        "join.pass",
+                        rule=rule.head.predicate,
+                        delta_position=delta_position,
+                    ):
+                        if recording:
+                            join(
+                                sources, delta_sources, delta_sources,
+                                produced_this_rule,
+                                _edge_recorder(
+                                    sink, rule, join.slot_variables, parameters
+                                ),
+                            )
+                        else:
+                            join(
+                                sources, delta_sources, delta_sources,
+                                produced_this_rule,
+                            )
+                new_facts |= produced_this_rule
+            round_span.annotate(facts_derived=len(new_facts))
         if not new_facts:
             return
         statistics.facts_derived += len(new_facts)

@@ -69,7 +69,6 @@ estimate, refreshed every fixpoint round.
 
 import warnings
 from collections import defaultdict
-from dataclasses import dataclass
 
 from repro.datalog.analyze import (
     analyze_program,
@@ -96,6 +95,9 @@ from repro.exceptions import (
 )
 from repro.logic.syntax import Atom
 from repro.logic.terms import Parameter, Variable
+from repro.obs.metrics import MetricsFacade, MetricsRegistry, facade_fields
+from repro.obs.provenance import ProvenanceError, ProvenanceRecorder, derivation_tree
+from repro.obs.tracing import NOOP_TRACER
 from repro.semantics.worlds import World
 
 STRATEGIES = ("naive", "semi-naive", "indexed", "parallel")
@@ -109,8 +111,8 @@ CHECK_MODES = ("off", "warn", "strict")
 MAGIC_MODEL_CACHE_SIZE = 32
 
 
-@dataclass
-class EvaluationStatistics:
+@facade_fields
+class EvaluationStatistics(MetricsFacade):
     """Counters describing one fixpoint computation.
 
     ``rule_applications`` counts actual join passes executed: one per rule
@@ -118,13 +120,23 @@ class EvaluationStatistics:
     *delta position actually evaluated* for semi-naive rounds.  Delta passes
     skipped because the delta holds no fact of the pass's predicate are
     tallied separately in ``delta_passes_skipped``.
+
+    A façade over :class:`~repro.obs.metrics.Counter` instruments (see
+    :class:`~repro.obs.metrics.MetricsFacade`): field reads and writes go to
+    ``engine.<field>`` counters of the owning engine's registry, so the same
+    numbers appear in :meth:`DatalogEngine.metrics` — while construction,
+    field access, equality and ``repr`` behave exactly as the dataclass this
+    replaced.
     """
 
-    iterations: int = 0
-    rule_applications: int = 0
-    facts_derived: int = 0
-    strata: int = 0
-    delta_passes_skipped: int = 0
+    FIELDS = (
+        "iterations",
+        "rule_applications",
+        "facts_derived",
+        "strata",
+        "delta_passes_skipped",
+    )
+    PREFIX = "engine."
 
 
 class QueryResult(list):
@@ -219,10 +231,21 @@ class DatalogEngine:
     on *any* non-informational finding, before evaluation starts;
     ``"off"`` skips the analyzer entirely (``engine.diagnostics`` stays
     empty and nothing is pruned).
+
+    ``tracer`` attaches a :class:`~repro.obs.tracing.Tracer` — fixpoint
+    rounds, join passes and magic rewrites then record spans (the default
+    is the shared no-op tracer, whose cost the observability benchmark
+    bounds at ≤5% of a fixpoint).  ``provenance=True`` (indexed strategy
+    only) records one rule-level derivation edge per derived fact during
+    evaluation, enabling :meth:`explain`; it is off by default because the
+    edge store is O(derived facts).  :meth:`metrics` snapshots the
+    engine's metrics registry, which the ``statistics`` /
+    ``parallel_statistics`` façades and the ``query.*`` counters share.
     """
 
     def __init__(self, program, strategy="indexed", planner="histogram",
-                 shards=None, workers=None, storage=None, check="warn"):
+                 shards=None, workers=None, storage=None, check="warn",
+                 tracer=None, provenance=False):
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
         if planner not in PLANNERS:
@@ -249,18 +272,32 @@ class DatalogEngine:
             raise ValueError("shards/workers are only meaningful with strategy='parallel'")
         if check not in CHECK_MODES:
             raise ValueError(f"check must be one of {', '.join(CHECK_MODES)}")
+        if provenance and strategy != "indexed":
+            raise ValueError(
+                "provenance recording requires the indexed strategy "
+                "(objects or columnar storage)"
+            )
         self.program = program
         self.strategy = strategy
         self.planner = planner
         self.shards = shards
         self.workers = workers
         self.storage = storage
+        self.tracer = NOOP_TRACER if tracer is None else tracer
         # One symbol table per engine: append-only, so ids stay stable
         # across evaluations; the compiled-join cache shares its lifetime.
         self.interner = Interner() if storage == "columnar" else None
         self._compiled_cache = {} if storage == "columnar" else None
-        self.statistics = EvaluationStatistics()
+        self._metrics = MetricsRegistry()
+        self.statistics = EvaluationStatistics(registry=self._metrics)
         self.planner_statistics = JoinStatistics()
+        # Provenance: one derivation edge per derived fact, recorded only
+        # while _provenance_sink is armed (engine-owned fixpoints; the
+        # incremental maintainer's joins never record).
+        self.provenance = bool(provenance)
+        self._provenance = ProvenanceRecorder() if provenance else None
+        self._provenance_key = None
+        self._provenance_sink = None
         # Filled per parallel evaluation by ParallelScheduler (waves, wave
         # widths, shard fan-out tasks); None under the sequential strategies.
         self.parallel_statistics = None
@@ -373,17 +410,23 @@ class DatalogEngine:
                 return self._model
         if self._strata_key != key:
             self._refresh_strata(key)
-        self.statistics = EvaluationStatistics()
-        self.planner_statistics = JoinStatistics()
-        if self.strategy == "parallel":
-            model = self._evaluate_parallel()
-        elif self.strategy == "indexed":
-            if self.storage == "columnar":
-                model = self._evaluate_columnar()
-            else:
-                model = self._evaluate_indexed()
-        else:
-            model = self._evaluate_scanning()
+        self._begin_evaluation()
+        with self.tracer.span(
+            "engine.least_model", strategy=self.strategy, storage=self.storage
+        ):
+            try:
+                if self.strategy == "parallel":
+                    model = self._evaluate_parallel()
+                elif self.strategy == "indexed":
+                    if self.storage == "columnar":
+                        model = self._evaluate_columnar()
+                    else:
+                        model = self._evaluate_indexed()
+                else:
+                    model = self._evaluate_scanning()
+            finally:
+                self._provenance_sink = None
+        self._provenance_key = key if self.provenance else None
         self._model = model
         self._model_key = key
         return model
@@ -411,15 +454,23 @@ class DatalogEngine:
         key = self._program_key()
         if self._strata_key != key:
             self._refresh_strata(key)
-        self.statistics = EvaluationStatistics()
-        self.planner_statistics = JoinStatistics()
-        if self.strategy == "parallel":
-            return self._parallel_fixpoint()
-        if self.storage == "columnar":
-            return ColumnarFactIndex.from_store(
-                self._columnar_fixpoint(), self.interner
-            )
-        return self._indexed_fixpoint_index()
+        self._begin_evaluation()
+        with self.tracer.span(
+            "engine.least_index", strategy=self.strategy, storage=self.storage
+        ):
+            try:
+                if self.strategy == "parallel":
+                    result = self._parallel_fixpoint()
+                elif self.storage == "columnar":
+                    result = ColumnarFactIndex.from_store(
+                        self._columnar_fixpoint(), self.interner
+                    )
+                else:
+                    result = self._indexed_fixpoint_index()
+            finally:
+                self._provenance_sink = None
+        self._provenance_key = key if self.provenance else None
+        return result
 
     def query(self, atom, mode="auto"):
         """Answer a single goal *atom* (which may mix constants and
@@ -468,10 +519,10 @@ class DatalogEngine:
                     and len(fact.atom.args) == arity
                 }
                 bindings, touched = _match_goal(atom, facts)
-                return QueryResult(
+                return self._note_query(QueryResult(
                     bindings, goal=atom, mode="edb", adornment=adornment,
                     facts_touched=touched,
-                )
+                ))
             if not extensional and (mode == "magic" or not (cached or maintained)):
                 try:
                     return self._magic_query(atom, adornment)
@@ -483,14 +534,28 @@ class DatalogEngine:
         model = self.least_model()
         evaluated = self.statistics is not statistics_before
         bindings, touched = _match_goal(atom, model.atoms_for(atom.predicate))
-        return QueryResult(
+        return self._note_query(QueryResult(
             bindings, goal=atom, mode="full", adornment=adornment,
             facts_touched=len(model) if evaluated else touched,
             join_passes=self.statistics.rule_applications if evaluated else 0,
             iterations=self.statistics.iterations if evaluated else 0,
             facts_derived=self.statistics.facts_derived if evaluated else 0,
             fallback_reason=fallback_reason,
-        )
+        ))
+
+    def _note_query(self, result):
+        """Tally one :meth:`query` answer into the cumulative ``query.*``
+        registry counters — the single bookkeeping the per-result
+        :class:`QueryResult` numbers and :meth:`metrics` now share."""
+        metrics = self._metrics
+        metrics.counter("query.calls").inc()
+        metrics.counter(f"query.mode.{result.mode}").inc()
+        metrics.counter("query.answers").inc(len(result))
+        metrics.counter("query.facts_touched").inc(result.facts_touched)
+        metrics.counter("query.join_passes").inc(result.join_passes)
+        if result.cached:
+            metrics.counter("query.cache_hits").inc()
+        return result
 
     def _magic_query(self, atom, adornment):
         """Answer an intensional goal by magic sets, through the engine's
@@ -528,16 +593,19 @@ class DatalogEngine:
         answer_atoms = self._magic_models.get(model_key)
         if answer_atoms is not None:
             bindings, touched = _match_goal(atom, answer_atoms)
-            return QueryResult(
+            return self._note_query(QueryResult(
                 bindings, goal=atom, mode="magic", adornment=adornment,
                 facts_touched=touched, cached=True,
-            )
+            ))
         template_key = (atom.predicate, arity, adornment)
         template = self._magic_templates.get(template_key)
         if template is None:
             # Plan against the effective (never-fire-pruned) program so the
             # rewrite never specializes provably dead rules.
-            template = magic.plan(self._effective_program(), atom)
+            with self.tracer.span(
+                "magic.rewrite", goal=atom.predicate, adornment=adornment
+            ):
+                template = magic.plan(self._effective_program(), atom)
             self._magic_templates[template_key] = template
         magic_program = magic.instantiate(template, self.program, atom)
         # shards/workers are None under the sequential strategies, which the
@@ -547,22 +615,25 @@ class DatalogEngine:
         inner = DatalogEngine(
             magic_program.program, strategy=self.strategy, planner=self.planner,
             shards=self.shards, workers=self.workers, storage=self.storage,
-            check="off",
+            check="off", tracer=self.tracer,
         )
-        model = inner.least_model()
+        with self.tracer.span(
+            "magic.evaluate", goal=atom.predicate, adornment=adornment
+        ):
+            model = inner.least_model()
         answers = magic_program.answers(model)
         while len(self._magic_models) >= MAGIC_MODEL_CACHE_SIZE:
             self._magic_models.pop(next(iter(self._magic_models)))
         self._magic_models[model_key] = tuple(
             model.atoms_for(magic_program.answer_predicate)
         )
-        return QueryResult(
+        return self._note_query(QueryResult(
             answers, goal=atom, mode="magic", adornment=adornment,
             facts_touched=len(model),
             join_passes=inner.statistics.rule_applications,
             iterations=inner.statistics.iterations,
             facts_derived=inner.statistics.facts_derived,
-        )
+        ))
 
     def holds(self, atom):
         """Return True when the ground *atom* is in the least model
@@ -593,6 +664,71 @@ class DatalogEngine:
         self._model = model
         self._model_key = key
         return model
+
+    # -- observability ------------------------------------------------------
+    def _begin_evaluation(self):
+        """Reset the per-evaluation state: a *fresh* statistics façade over
+        the engine's registry (callers detect "a fixpoint ran" by object
+        identity, so the façade object must change even though the counters
+        it fronts are shared), a fresh planner snapshot, and — with
+        provenance on — a fresh edge store with the recording sink armed
+        (the caller disarms it when the fixpoint ends, so joins run on
+        behalf of other machinery never record)."""
+        self.statistics = EvaluationStatistics(registry=self._metrics)
+        self.planner_statistics = JoinStatistics()
+        if self.provenance:
+            self._provenance = ProvenanceRecorder()
+            self._provenance_sink = self._provenance.record
+            self._provenance_key = None
+
+    def metrics(self):
+        """One flat snapshot of every instrument of this engine's
+        :class:`~repro.obs.metrics.MetricsRegistry`: the fixpoint counters
+        behind ``engine.statistics`` (``engine.*``), the cumulative query
+        counters (``query.*``) and — under ``strategy="parallel"`` — the
+        scheduler counters behind ``parallel_statistics``
+        (``parallel.*``)."""
+        return self._metrics.snapshot()
+
+    def explain(self, atom):
+        """The derivation tree of a ground *atom* of the least model — a
+        :class:`~repro.obs.provenance.Derivation` whose leaves are EDB facts
+        and whose inner nodes name the rule and the ground body atoms that
+        produced each derived fact.
+
+        Requires the engine to have been built with ``provenance=True``.
+        When no provenance-recorded evaluation matches the current program
+        content (nothing evaluated yet, the program changed, or the cached
+        model was installed by an incremental maintainer), the fixpoint is
+        re-run here — bypassing the model provider — to collect edges.
+        Raises :class:`~repro.obs.provenance.ProvenanceError` for atoms
+        outside the least model."""
+        if self._provenance is None:
+            raise ProvenanceError(
+                "provenance recording is off; build the engine with "
+                "provenance=True to use explain()"
+            )
+        key = self._program_key()
+        if (
+            self._provenance_key != key
+            or self._model is None
+            or self._model_key != key
+        ):
+            provider = self._model_provider
+            self._model_provider = None
+            self._model = None
+            self._model_key = None
+            try:
+                model = self.least_model()
+            finally:
+                self._model_provider = provider
+        else:
+            model = self._model
+        if atom not in model:
+            raise ProvenanceError(
+                f"{atom} is not in the least model; there is nothing to explain"
+            )
+        return derivation_tree(self._provenance, atom, known=model)
 
     def _program_key(self):
         # Content-based key: catches in-place replacement of facts/rules,
@@ -833,12 +969,17 @@ class DatalogEngine:
         schedules = {rule: self._schedule(rule) for rule in rules}
         while True:
             self.statistics.iterations += 1
-            new_facts = set()
-            for rule in rules:
-                self.statistics.rule_applications += 1
-                for derived in self._scan_join(rule, schedules[rule], database, None, {}, 0):
-                    if derived not in database:
-                        new_facts.add(derived)
+            with self.tracer.span(
+                "fixpoint.round", iteration=self.statistics.iterations
+            ):
+                new_facts = set()
+                for rule in rules:
+                    self.statistics.rule_applications += 1
+                    for derived in self._scan_join(
+                        rule, schedules[rule], database, None, {}, 0
+                    ):
+                        if derived not in database:
+                            new_facts.add(derived)
             if not new_facts:
                 return database
             self.statistics.facts_derived += len(new_facts)
@@ -852,35 +993,40 @@ class DatalogEngine:
         first_round = True
         while True:
             self.statistics.iterations += 1
-            new_facts = set()
-            if not first_round:
-                delta_relations = {(a.predicate, len(a.args)) for a in delta}
-            for rule in rules:
-                if first_round:
-                    self.statistics.rule_applications += 1
-                    produced = self._scan_join(
-                        rule, full_schedules[rule], database, None, {}, 0
-                    )
-                    for derived in produced:
-                        if derived not in database:
-                            new_facts.add(derived)
-                    continue
-                produced_this_rule = set()
-                for delta_position, literal in enumerate(rule.body):
-                    if not literal.positive:
+            with self.tracer.span(
+                "fixpoint.round", iteration=self.statistics.iterations
+            ):
+                new_facts = set()
+                if not first_round:
+                    delta_relations = {(a.predicate, len(a.args)) for a in delta}
+                for rule in rules:
+                    if first_round:
+                        self.statistics.rule_applications += 1
+                        produced = self._scan_join(
+                            rule, full_schedules[rule], database, None, {}, 0
+                        )
+                        for derived in produced:
+                            if derived not in database:
+                                new_facts.add(derived)
                         continue
-                    if (literal.atom.predicate, len(literal.atom.args)) not in delta_relations:
-                        self.statistics.delta_passes_skipped += 1
-                        continue
-                    self.statistics.rule_applications += 1
-                    schedule = delta_schedules.get((rule, delta_position))
-                    if schedule is None:
-                        schedule = self._schedule(rule, delta_position=delta_position)
-                        delta_schedules[(rule, delta_position)] = schedule
-                    for derived in self._scan_join(rule, schedule, database, delta, {}, 0):
-                        if derived not in database:
-                            produced_this_rule.add(derived)
-                new_facts |= produced_this_rule
+                    produced_this_rule = set()
+                    for delta_position, literal in enumerate(rule.body):
+                        if not literal.positive:
+                            continue
+                        if (literal.atom.predicate, len(literal.atom.args)) not in delta_relations:
+                            self.statistics.delta_passes_skipped += 1
+                            continue
+                        self.statistics.rule_applications += 1
+                        schedule = delta_schedules.get((rule, delta_position))
+                        if schedule is None:
+                            schedule = self._schedule(rule, delta_position=delta_position)
+                            delta_schedules[(rule, delta_position)] = schedule
+                        for derived in self._scan_join(
+                            rule, schedule, database, delta, {}, 0
+                        ):
+                            if derived not in database:
+                                produced_this_rule.add(derived)
+                    new_facts |= produced_this_rule
             if not new_facts:
                 return database
             self.statistics.facts_derived += len(new_facts)
@@ -889,38 +1035,54 @@ class DatalogEngine:
             first_round = False
 
     def _indexed_fixpoint(self, rules, index):
+        tracer = self.tracer
         delta = None
         first_round = True
         while True:
             self.statistics.iterations += 1
-            # Feed the planner the observed bucket shapes of this round's
-            # database, so derived relations that grew last round reorder
-            # this round's joins.
-            stats = self._planner_stats(index)
-            new_facts = set()
-            for rule in rules:
-                if first_round:
-                    self.statistics.rule_applications += 1
-                    schedule = self._schedule(rule, index=index, stats=stats)
-                    for derived in self._indexed_join(rule, schedule, index, None, {}, 0):
-                        if derived not in index:
-                            new_facts.add(derived)
-                    continue
-                produced_this_rule = set()
-                for delta_position, literal in enumerate(rule.body):
-                    if not literal.positive:
+            round_span = tracer.span(
+                "fixpoint.round", iteration=self.statistics.iterations
+            )
+            with round_span:
+                # Feed the planner the observed bucket shapes of this round's
+                # database, so derived relations that grew last round reorder
+                # this round's joins.
+                stats = self._planner_stats(index)
+                new_facts = set()
+                for rule in rules:
+                    if first_round:
+                        self.statistics.rule_applications += 1
+                        schedule = self._schedule(rule, index=index, stats=stats)
+                        with tracer.span("join.pass", rule=rule.head.predicate):
+                            for derived in self._indexed_join(
+                                rule, schedule, index, None, {}, 0
+                            ):
+                                if derived not in index:
+                                    new_facts.add(derived)
                         continue
-                    if not delta.count(literal.atom.predicate, len(literal.atom.args)):
-                        self.statistics.delta_passes_skipped += 1
-                        continue
-                    self.statistics.rule_applications += 1
-                    schedule = self._schedule(
-                        rule, delta_position=delta_position, index=index, stats=stats
-                    )
-                    for derived in self._indexed_join(rule, schedule, index, delta, {}, 0):
-                        if derived not in index:
-                            produced_this_rule.add(derived)
-                new_facts |= produced_this_rule
+                    produced_this_rule = set()
+                    for delta_position, literal in enumerate(rule.body):
+                        if not literal.positive:
+                            continue
+                        if not delta.count(literal.atom.predicate, len(literal.atom.args)):
+                            self.statistics.delta_passes_skipped += 1
+                            continue
+                        self.statistics.rule_applications += 1
+                        schedule = self._schedule(
+                            rule, delta_position=delta_position, index=index, stats=stats
+                        )
+                        with tracer.span(
+                            "join.pass",
+                            rule=rule.head.predicate,
+                            delta_position=delta_position,
+                        ):
+                            for derived in self._indexed_join(
+                                rule, schedule, index, delta, {}, 0
+                            ):
+                                if derived not in index:
+                                    produced_this_rule.add(derived)
+                    new_facts |= produced_this_rule
+                round_span.annotate(facts_derived=len(new_facts))
             if not new_facts:
                 return
             self.statistics.facts_derived += len(new_facts)
@@ -961,7 +1123,15 @@ class DatalogEngine:
         """Evaluate a scheduled body by probing :class:`FactIndex` buckets
         with the currently bound argument prefix."""
         if position == len(schedule):
-            yield _head_atom(rule, binding)
+            head = _head_atom(rule, binding)
+            sink = self._provenance_sink
+            if sink is not None and head not in index:
+                # Only genuinely new derivations get an edge (facts already
+                # in the index — EDB or earlier rounds — keep their first
+                # explanation); the recorder's setdefault keeps the first
+                # edge among same-round re-derivations.
+                sink(head, rule, _ground_positive_body(rule, binding))
+            yield head
             return
         literal, source = schedule[position]
         atom = literal.atom
@@ -1014,6 +1184,23 @@ def _head_atom(rule, binding):
     return Atom(
         rule.head.predicate,
         tuple(binding[a] if isinstance(a, Variable) else a for a in rule.head.args),
+    )
+
+
+def _ground_positive_body(rule, binding):
+    """The rule's positive body literals instantiated at *binding*, in body
+    order — the premises of one provenance edge (negated literals are
+    absences and carry none)."""
+    return tuple(
+        Atom(
+            literal.atom.predicate,
+            tuple(
+                binding[a] if isinstance(a, Variable) else a
+                for a in literal.atom.args
+            ),
+        )
+        for literal in rule.body
+        if literal.positive
     )
 
 

@@ -310,7 +310,15 @@ class MaterializedModel:
             self.program.facts.append(DatalogFact(atom))
         self._edb = (self._edb - edb_removed) | edb_added
 
-        derived_added, derived_removed = self._propagate(edb_added, edb_removed)
+        with self.engine.tracer.span(
+            "maintenance.batch",
+            insertions=len(edb_added),
+            deletions=len(edb_removed),
+        ) as span:
+            derived_added, derived_removed = self._propagate(edb_added, edb_removed)
+            span.annotate(
+                facts_added=len(derived_added), facts_removed=len(derived_removed)
+            )
 
         self._facts_key = tuple(self.program.facts)
         self._world = None
@@ -390,6 +398,17 @@ class MaterializedModel:
         self._world = None
         self._facts_key = tuple(self.program.facts)
         self._rules_key = tuple(self.program.rules)
+
+    def metrics(self):
+        """The maintenance counters as a flat ``maintenance.*`` snapshot
+        (same shape as :meth:`DatalogEngine.metrics`); read at call time
+        from :attr:`statistics`, which stays a plain dataclass."""
+        from dataclasses import asdict
+
+        return {
+            f"maintenance.{name}": value
+            for name, value in sorted(asdict(self.statistics).items())
+        }
 
     def __contains__(self, atom):
         return self.holds(atom)

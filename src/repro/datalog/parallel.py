@@ -42,17 +42,18 @@ alone.
 """
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from itertools import chain
 import os
 
 from repro.datalog.index import FactIndex
 from repro.datalog.shard import ShardedFactIndex
 from repro.datalog.stats import JoinStatistics
+from repro.obs.metrics import MetricsFacade, facade_fields
+from repro.obs.tracing import NOOP_TRACER
 
 
-@dataclass
-class ParallelStatistics:
+@facade_fields
+class ParallelStatistics(MetricsFacade):
     """Counters describing one parallel evaluation.
 
     ``waves`` is the number of concurrency barriers (levels of the
@@ -61,13 +62,25 @@ class ParallelStatistics:
     ``concurrent_components`` the number of component fixpoints evaluated in
     waves of width > 1, ``shard_tasks`` the number of per-shard delta-join
     tasks fanned out, and ``workers`` the size of the worker pool used.
+
+    A façade over the engine's metrics registry (``parallel.*`` counters);
+    field reads and writes go straight to the registry instruments, and
+    the list-valued ``wave_widths`` stays a plain attribute.
     """
 
-    waves: int = 0
-    wave_widths: list = field(default_factory=list)
-    concurrent_components: int = 0
-    shard_tasks: int = 0
-    workers: int = 1
+    FIELDS = ("waves", "concurrent_components", "shard_tasks", "workers")
+    PREFIX = "parallel."
+    __slots__ = ("wave_widths",)
+
+    def __init__(self, registry=None, wave_widths=None, **fields):
+        fields.setdefault("workers", 1)
+        super().__init__(registry=registry, **fields)
+        self.wave_widths = list(wave_widths or [])
+
+    def as_dict(self):
+        data = super().as_dict()
+        data["wave_widths"] = list(self.wave_widths)
+        return data
 
     @property
     def max_wave_width(self):
@@ -184,7 +197,9 @@ class ParallelScheduler:
         self.workers = (
             engine.workers if engine.workers is not None else default_workers(engine.shards)
         )
-        self.statistics = ParallelStatistics(workers=self.workers)
+        self.statistics = ParallelStatistics(
+            registry=getattr(engine, "_metrics", None), workers=self.workers
+        )
         self._pool = None
 
     # -- public API ----------------------------------------------------------
@@ -192,58 +207,68 @@ class ParallelScheduler:
         """Drive *index* (a :class:`~repro.datalog.shard.ShardedFactIndex`
         seeded with the program's EDB) to the least model, wave by wave."""
         waves = self.waves()
+        tracer = getattr(self.engine, "tracer", NOOP_TRACER)
         try:
             for wave in waves:
                 self.statistics.waves += 1
                 self.statistics.wave_widths.append(len(wave))
-                if len(wave) == 1:
-                    # The whole machine belongs to one component: run its
-                    # fixpoint against the shared index, fanning the delta
-                    # passes out across shards.  Columnar shards take the
-                    # compiled id-space fixpoint; object shards the atom-face
-                    # one.  Both fan out and count identically.
-                    if index.storage == "columnar":
-                        self._columnar_component_fixpoint(
-                            wave[0].rules,
-                            index,
-                            counters=self.engine.statistics,
-                            planner_stats=self.engine.planner_statistics,
-                        )
-                    else:
+                with tracer.span(
+                    "fixpoint.wave",
+                    wave=self.statistics.waves,
+                    components=len(wave),
+                ):
+                    if len(wave) == 1:
+                        # The whole machine belongs to one component: run its
+                        # fixpoint against the shared index, fanning the delta
+                        # passes out across shards.  Columnar shards take the
+                        # compiled id-space fixpoint; object shards the
+                        # atom-face one.  Both fan out and count identically.
+                        if index.storage == "columnar":
+                            self._columnar_component_fixpoint(
+                                wave[0].rules,
+                                index,
+                                counters=self.engine.statistics,
+                                planner_stats=self.engine.planner_statistics,
+                            )
+                        else:
+                            self._component_fixpoint(
+                                wave[0].rules,
+                                index,
+                                fan_out=True,
+                                counters=self.engine.statistics,
+                                planner_stats=self.engine.planner_statistics,
+                            )
+                        continue
+                    self.statistics.concurrent_components += len(wave)
+                    overlays = [FactIndex() for _ in wave]
+
+                    def run(component, overlay):
+                        # Private counters and planner snapshots per concurrent
+                        # component; merged at the barrier below so the
+                        # engine's statistics stay exact without cross-thread
+                        # writes.
+                        from repro.datalog.engine import EvaluationStatistics
+
+                        counters = EvaluationStatistics()
                         self._component_fixpoint(
-                            wave[0].rules,
-                            index,
-                            fan_out=True,
-                            counters=self.engine.statistics,
-                            planner_stats=self.engine.planner_statistics,
+                            component.rules,
+                            _StackedIndex(index, overlay),
+                            fan_out=False,
+                            counters=counters,
+                            planner_stats=JoinStatistics(),
                         )
-                    continue
-                self.statistics.concurrent_components += len(wave)
-                overlays = [FactIndex() for _ in wave]
+                        return counters
 
-                def run(component, overlay):
-                    # Private counters and planner snapshots per concurrent
-                    # component; merged at the barrier below so the engine's
-                    # statistics stay exact without cross-thread writes.
-                    from repro.datalog.engine import EvaluationStatistics
-
-                    counters = EvaluationStatistics()
-                    self._component_fixpoint(
-                        component.rules,
-                        _StackedIndex(index, overlay),
-                        fan_out=False,
-                        counters=counters,
-                        planner_stats=JoinStatistics(),
+                    results = self._run_tasks(
+                        [
+                            (run, (component, overlay))
+                            for component, overlay in zip(wave, overlays)
+                        ]
                     )
-                    return counters
-
-                results = self._run_tasks(
-                    [(run, (component, overlay)) for component, overlay in zip(wave, overlays)]
-                )
-                for counters in results:
-                    self._merge_counters(counters)
-                for overlay in overlays:
-                    index.absorb(overlay)
+                    for counters in results:
+                        self._merge_counters(counters)
+                    for overlay in overlays:
+                        index.absorb(overlay)
         finally:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)

@@ -33,6 +33,8 @@ from repro.evaluator.all_answers import all_answers
 from repro.evaluator.demo import DemoEvaluator
 from repro.semantics import entailment as model_entailment
 from repro.semantics.answers import Answer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER
 from repro.semantics.config import DEFAULT_CONFIG
 from repro.semantics.reduction import EpistemicReducer
 
@@ -61,12 +63,14 @@ class EpistemicDatabase:
     """
 
     def __init__(self, sentences=(), constraints=(), config=DEFAULT_CONFIG,
-                 constraint_checking="scratch", view_options=None):
+                 constraint_checking="scratch", view_options=None, tracer=None):
         if constraint_checking not in ("scratch", "incremental"):
             raise ValueError(
                 "constraint_checking must be 'scratch' or 'incremental'"
             )
         self.config = config
+        self.tracer = NOOP_TRACER if tracer is None else tracer
+        self._metrics = MetricsRegistry()
         self._sentences = []
         self._constraints = []
         self._checker = IntegrityChecker(config=config)
@@ -154,6 +158,7 @@ class EpistemicDatabase:
         Called after constraint checking succeeds and before triggers fire,
         so listeners see the new state before any trigger queries it."""
         self._revision_epoch += 1
+        self._metrics.gauge("db.revision_epoch").set(self._revision_epoch)
         if not self._update_listeners:
             return
         added = tuple(added)
@@ -196,6 +201,7 @@ class EpistemicDatabase:
                 )
         self._sentences.append(formula)
         self._dirty = True
+        self._metrics.counter("db.tells").inc()
         self._notify_update([formula], [])
         if fire_triggers and self._triggers.triggers:
             self._triggers.fire(self)
@@ -227,6 +233,7 @@ class EpistemicDatabase:
                 )
             self._sentences.remove(formula)
             self._dirty = True
+            self._metrics.counter("db.retracts").inc()
             self._notify_update([], [formula])
             return report
         self._sentences.remove(formula)
@@ -240,6 +247,7 @@ class EpistemicDatabase:
                     f"retracting {to_text(formula)} violates integrity constraints",
                     violations=report.violations,
                 )
+        self._metrics.counter("db.retracts").inc()
         self._notify_update([], [formula])
         return report
 
@@ -382,6 +390,7 @@ class EpistemicDatabase:
         maintained violation view (O(touched buckets)) instead of
         re-evaluating; the report's ``fallbacks`` names any constraint that
         still went through the from-scratch path and why."""
+        self._metrics.counter("db.checks").inc()
         if self._constraint_checking == "incremental" and self._constraints:
             return self.violation_view().check(with_witnesses=with_witnesses)
         return self._checker.check(
@@ -393,6 +402,73 @@ class EpistemicDatabase:
         unregistered) constraint?"""
         formula = _as_formula(constraint)
         return self._reducer_for([formula]).entails(formula)
+
+    def metrics(self):
+        """One flat snapshot of the database's own instruments (``db.*``:
+        tells, retracts, commits, checks, the revision-epoch gauge).  The
+        engine-level numbers live on the evaluating objects —
+        ``violation_view().engine.metrics()`` et al."""
+        return self._metrics.snapshot()
+
+    def explain_rejection(self, report, policy=None):
+        """Why did this constraint report (or
+        :class:`~repro.exceptions.ConstraintViolationError`) reject an
+        update — and what could give way?
+
+        For every violation witness, traces the violated constraint to its
+        **support**: the instantiated positive atoms the violation rests on
+        (:func:`~repro.constraints.views.violation_support`), and matches
+        that support against the currently believed ground atoms to list
+        the **retraction candidates** the revision planner would consider,
+        ordered least entrenched first under *policy* (default: recency,
+        exactly :meth:`revision`'s default).  Returns a tuple of
+        :class:`~repro.obs.provenance.RejectionExplanation`, one per
+        (violation, witness) pair, each with a human-readable
+        ``render()``.
+        """
+        from repro.constraints.views import violation_support
+        from repro.obs.provenance import RejectionExplanation
+        from repro.revision.entrenchment import EntrenchmentState, RecencyPolicy
+        from repro.revision.planner import _match
+
+        violations = getattr(report, "violations", None)
+        if violations is None:
+            raise TypeError(
+                "expected a ConstraintReport or ConstraintViolationError "
+                f"(something with .violations), got {type(report).__name__}"
+            )
+        policy = RecencyPolicy() if policy is None else policy
+        counts = {}
+        sequences = {}
+        for position, sentence in enumerate(self._sentences):
+            counts[sentence] = counts.get(sentence, 0) + 1
+            sequences.setdefault(sentence, position)
+        state = EntrenchmentState(sequences)
+        explanations = []
+        for violation in violations:
+            constraint = violation.constraint
+            constraint_id = None
+            if self._violation_view is not None:
+                try:
+                    constraint_id = self._violation_view.constraint_id_of(constraint)
+                except KeyError:
+                    constraint_id = None
+            for witness in violation.witnesses or ((),):
+                support = tuple(violation_support(constraint, witness))
+                candidates = []
+                for pattern in support:
+                    for candidate in _match(pattern, counts):
+                        if candidate not in candidates:
+                            candidates.append(candidate)
+                candidates.sort(key=lambda sentence: policy.key(sentence, state))
+                explanations.append(RejectionExplanation(
+                    constraint=constraint,
+                    witness=tuple(witness),
+                    support=support,
+                    candidates=tuple(candidates),
+                    constraint_id=constraint_id,
+                ))
+        return tuple(explanations)
 
     def transaction(self):
         """Return a :class:`~repro.db.transactions.Transaction` for staging a

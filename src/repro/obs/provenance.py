@@ -1,0 +1,259 @@
+"""Rule-level provenance: *why does the database believe this?*
+
+The paper reads a database as a set of *known* facts whose integrity
+verdicts must be justifiable; this module makes the justification a data
+structure.  When a :class:`~repro.datalog.engine.DatalogEngine` is built
+with ``provenance=True``, its indexed/columnar fixpoints record one
+**derivation edge** per derived fact — the rule that first produced it and
+the ground positive body atoms the producing join read — into a
+:class:`ProvenanceRecorder`.  ``engine.explain(atom)`` then folds the
+edges into a :class:`Derivation` tree whose leaves are base (EDB) facts.
+
+Edges are *first-wins* (``setdefault``): semi-naive evaluation only joins
+against facts established in earlier rounds (or earlier in the first
+round), so every recorded edge points strictly backwards and the edge
+relation is acyclic by construction — :func:`derivation_tree` still
+carries a cycle guard as a corruption check.  Trees are built iteratively
+with memoization, so a 10k-deep transitive-closure chain neither recurses
+nor re-expands shared sub-derivations.
+
+On the database side, :meth:`~repro.db.database.EpistemicDatabase.explain_rejection`
+turns a constraint report into :class:`RejectionExplanation` objects:
+each violation witness traced to its supporting facts and the
+entrenchment-ordered retraction candidates the revision planner would
+consider.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError
+
+
+class ProvenanceError(ReproError):
+    """Raised when provenance is unavailable (recording is off, the atom is
+    unknown) or inconsistent (a cyclic edge set, which recording cannot
+    produce and therefore indicates corruption)."""
+
+
+class ProvenanceRecorder:
+    """The derivation-edge store one engine fills during a traced fixpoint.
+
+    ``edges`` maps each derived ground atom to ``(rule, body_atoms)`` —
+    the rule whose join first produced it and the ground positive body
+    atoms of that join (negated literals are absences; they carry no
+    edge).  First-wins: re-derivations of an already-explained atom are
+    ignored, which both bounds the store at one edge per fact and keeps
+    the edge relation acyclic (see the module docstring).
+    """
+
+    __slots__ = ("edges",)
+
+    def __init__(self):
+        self.edges = {}
+
+    def record(self, atom, rule, body):
+        """Record that *rule* derived *atom* from the ground *body* atoms
+        (first edge wins; later re-derivations are no-ops)."""
+        self.edges.setdefault(atom, (rule, tuple(body)))
+
+    def get(self, atom):
+        """The ``(rule, body_atoms)`` edge of *atom*, or ``None`` for base
+        facts and unknown atoms."""
+        return self.edges.get(atom)
+
+    def clear(self):
+        """Drop every recorded edge."""
+        self.edges.clear()
+
+    def __contains__(self, atom):
+        return atom in self.edges
+
+    def __len__(self):
+        return len(self.edges)
+
+    def __repr__(self):
+        return f"ProvenanceRecorder({len(self.edges)} edges)"
+
+
+class Derivation:
+    """One node of a derivation tree (really a DAG — shared sub-derivations
+    are the same object).
+
+    ``rule`` is the :class:`~repro.datalog.program.Rule` that produced
+    ``atom`` and ``children`` are the derivations of its ground positive
+    body atoms, in body order; a base (EDB) fact has ``rule is None`` and
+    no children.
+    """
+
+    __slots__ = ("atom", "rule", "children")
+
+    def __init__(self, atom, rule=None, children=()):
+        self.atom = atom
+        self.rule = rule
+        self.children = tuple(children)
+
+    @property
+    def is_fact(self):
+        """True for a base-fact leaf (no rule derived this atom)."""
+        return self.rule is None
+
+    def nodes(self):
+        """Every distinct node of the DAG, children before parents."""
+        seen = set()
+        order = []
+        stack = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in seen:
+                continue
+            if expanded:
+                seen.add(id(node))
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for child in node.children:
+                    if id(child) not in seen:
+                        stack.append((child, False))
+        return order
+
+    def rule_instances(self):
+        """Every ground rule application of the tree as
+        ``(rule, head_atom, body_atoms)`` triples — what the correctness
+        property test re-evaluates against the model."""
+        return [
+            (node.rule, node.atom, tuple(child.atom for child in node.children))
+            for node in self.nodes()
+            if node.rule is not None
+        ]
+
+    @property
+    def depth(self):
+        """Longest atom-chain from this node down to a leaf (a base fact
+        has depth 0); computed iteratively over the memoized DAG."""
+        depths = {}
+        for node in self.nodes():  # children precede parents
+            depths[id(node)] = (
+                0
+                if not node.children
+                else 1 + max(depths[id(child)] for child in node.children)
+            )
+        return depths[id(self)]
+
+    def render(self, max_depth=None):
+        """The tree as indented text; shared sub-derivations are expanded
+        once and referenced (``...``) afterwards."""
+        from repro.logic.printer import to_text
+
+        lines = []
+        seen = set()
+        stack = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            indent = "  " * depth
+            label = to_text(node.atom)
+            if node.is_fact:
+                lines.append(f"{indent}{label}  [fact]")
+                continue
+            rule_name = node.rule.head.predicate
+            if id(node) in seen:
+                lines.append(f"{indent}{label}  [... shown above]")
+                continue
+            seen.add(id(node))
+            lines.append(f"{indent}{label}  [rule {rule_name}/{len(node.rule.body)}]")
+            if max_depth is not None and depth >= max_depth:
+                if node.children:
+                    lines.append(f"{indent}  ...")
+                continue
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        kind = "fact" if self.is_fact else f"rule, {len(self.children)} premises"
+        return f"Derivation({self.atom!r}, {kind})"
+
+
+def derivation_tree(provenance, atom, known=None):
+    """Fold recorded edges into the :class:`Derivation` DAG rooted at *atom*.
+
+    *provenance* is a :class:`ProvenanceRecorder` (or a raw edge dict);
+    *known*, when given, is the set of atoms the model actually contains —
+    an atom with no edge must then be a member (a base fact) or
+    :class:`ProvenanceError` is raised.  Construction is iterative and
+    memoized: shared sub-derivations become shared nodes, and a cyclic
+    edge set (impossible from recording, possible from a corrupted store)
+    is detected rather than looped on.
+    """
+    edges = provenance.edges if isinstance(provenance, ProvenanceRecorder) else provenance
+    memo = {}
+    expanding = set()
+    stack = [atom]
+    while stack:
+        current = stack[-1]
+        if current in memo:
+            stack.pop()
+            continue
+        entry = edges.get(current)
+        if entry is None:
+            if known is not None and current not in known:
+                raise ProvenanceError(
+                    f"no derivation recorded and not a base fact: {current!r}"
+                )
+            memo[current] = Derivation(current)
+            stack.pop()
+            continue
+        rule, body = entry
+        pending = [premise for premise in body if premise not in memo]
+        if pending:
+            if current in expanding:
+                raise ProvenanceError(
+                    f"cyclic provenance edges at {current!r} (corrupted store)"
+                )
+            expanding.add(current)
+            stack.extend(pending)
+        else:
+            memo[current] = Derivation(
+                current, rule, tuple(memo[premise] for premise in body)
+            )
+            expanding.discard(current)
+            stack.pop()
+    return memo[atom]
+
+
+@dataclass(frozen=True)
+class RejectionExplanation:
+    """Why one constraint-violation witness rejects an update — and what
+    could give way.
+
+    ``constraint`` is the violated KFOPCE constraint, ``witness`` the
+    binding tuple naming where it fails, ``support`` the instantiated
+    positive body atoms the violation rests on (patterns may keep inner
+    existential variables), and ``candidates`` the believed sentences
+    matching that support which the revision planner may retract —
+    ordered least entrenched first, so ``candidates[0]`` is exactly the
+    planner's greedy pick for this witness.
+    """
+
+    constraint: object
+    witness: Tuple = ()
+    support: Tuple = ()
+    candidates: Tuple = ()
+    constraint_id: Optional[str] = None
+
+    def render(self):
+        """The explanation as indented text."""
+        from repro.logic.printer import to_text
+
+        witness = ", ".join(term.name for term in self.witness) or "(propositional)"
+        lines = [f"violated: {to_text(self.constraint)}", f"  witness: {witness}"]
+        lines.append("  rests on:")
+        for pattern in self.support:
+            lines.append(f"    {to_text(pattern)}")
+        if self.candidates:
+            lines.append("  retraction candidates (least entrenched first):")
+            for sentence in self.candidates:
+                lines.append(f"    {to_text(sentence)}")
+        else:
+            lines.append("  no retractable support (irreparable)")
+        return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.logic.syntax import Atom, free_variables
 from repro.logic.terms import Parameter
 from repro.logic.transform import simplify
 from repro.revision.entrenchment import RecencyPolicy
+from repro.obs.tracing import NOOP_TRACER
 from repro.revision.planner import plan_retractions
 
 
@@ -202,6 +203,7 @@ class BeliefRevisor:
                 operation, additions=tuple(additions),
                 epoch=self._database.revision_epoch, changed=False,
             ))
+        tracer = getattr(self._database, "tracer", NOOP_TRACER)
         extra = ()
         if self._database.constraints():
             view = self._database.violation_view()
@@ -211,19 +213,22 @@ class BeliefRevisor:
                     batch_additions, batch_retractions, witness_limit=None
                 )
 
-            extra = plan_retractions(
-                preview, self._counts, self._sequences, policy=self._policy,
-                additions=new_additions, removals=removals,
-                protected=additions, max_rounds=self._max_rounds,
-            )
+            with tracer.span("revision.plan", operation=operation) as span:
+                extra = plan_retractions(
+                    preview, self._counts, self._sequences, policy=self._policy,
+                    additions=new_additions, removals=removals,
+                    protected=additions, max_rounds=self._max_rounds,
+                )
+                span.annotate(retractions_planned=len(extra))
         self._check_consistency(new_additions, removals, extra)
-        transaction = self._database.transaction()
-        for sentence in removals + list(extra):
-            for _ in range(self._counts.get(sentence, 0)):
-                transaction.retract(sentence)
-        for sentence in new_additions:
-            transaction.tell(sentence)
-        report = transaction.commit()
+        with tracer.span("revision.apply", operation=operation):
+            transaction = self._database.transaction()
+            for sentence in removals + list(extra):
+                for _ in range(self._counts.get(sentence, 0)):
+                    transaction.retract(sentence)
+            for sentence in new_additions:
+                transaction.tell(sentence)
+            report = transaction.commit()
         return self._record(RevisionResult(
             operation, additions=tuple(new_additions), removals=tuple(removals),
             retracted=tuple(extra), epoch=self._database.revision_epoch,

@@ -6,7 +6,8 @@ mode, the magic-set query section, the sharded parallel section, the
 columnar-vs-objects storage section, the static-analysis section, the
 violation-view constraints section or the belief-revision section is
 missing, model/answer/verdict/result
-agreement was not verified, the incremental speedup slipped below its 10x target, the
+agreement was not verified, the no-op tracing overhead of the observability
+section rose above its 5% cap, the incremental speedup slipped below its 10x target, the
 magic point-query speedup below its 5x target, the columnar fixpoint
 speedup / peak-memory advantage below its 3x / <1x targets or the
 incremental constraint-checking or belief-revision speedups below their 5x
@@ -304,6 +305,44 @@ def test_structure_check_catches_unexpected_revision_retraction(report):
     assert any(
         "did not expect" in p for p in check_bench.structure_problems(stale)
     )
+
+
+def test_structure_check_catches_missing_observability_section(report):
+    stale = dict(report)
+    stale.pop("observability", None)
+    assert any("observability" in p for p in check_bench.structure_problems(stale))
+
+
+def test_structure_check_catches_unverified_observability_models(report):
+    stale = dict(report)
+    stale["observability"] = {**report["observability"], "models_identical": False}
+    assert any(
+        "noop/traced/provenance" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_noop_overhead_above_cap(report):
+    stale = dict(report)
+    stale["observability"] = {**report["observability"], "noop_overhead_pct": 7.5}
+    assert any(
+        "no-op tracing overhead" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_missing_observability_fields(report):
+    stale = dict(report)
+    section = dict(report["observability"])
+    section.pop("traced_overhead_pct", None)
+    stale["observability"] = section
+    assert any(
+        "traced_overhead_pct" in p for p in check_bench.structure_problems(stale)
+    )
+
+
+def test_structure_check_catches_spanless_observability_run(report):
+    stale = dict(report)
+    stale["observability"] = {**report["observability"], "spans_recorded": 0}
+    assert any("recorded no spans" in p for p in check_bench.structure_problems(stale))
 
 
 @pytest.mark.slow

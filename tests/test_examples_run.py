@@ -119,3 +119,15 @@ def test_program_analysis_example(capsys):
     assert "warn mode pruned 1 dead rule(s) of 3 before evaluation" in output
     assert "least model unchanged by analysis and pruning: True" in output
     assert "p/1 -not-> q/1 -> p/1" in output
+
+
+def test_explain_derivations_example(capsys):
+    _load("explain_derivations").main()
+    output = capsys.readouterr().out
+    assert "why does the engine believe path(a, d)?" in output
+    assert "path(a, d)" in output and "edge(c, d)  [fact]" in output
+    assert "fixpoint.round" in output and "p50" in output and "p99" in output
+    assert "'engine.iterations': 41" in output
+    assert "REJECTED" in output
+    assert "retraction candidates (least entrenched first):" in output
+    assert "'db.tells': 1" in output
